@@ -1,0 +1,188 @@
+// Command locsched regenerates the tables and figures of the paper's
+// evaluation (Kandemir & Chen, DATE 2005, Section 4).
+//
+// Usage:
+//
+//	locsched [flags] <command>
+//
+// Commands:
+//
+//	table1   the application suite (paper Table 1)
+//	table2   the default simulation parameters (paper Table 2)
+//	fig6     isolated execution times per application (paper Figure 6)
+//	fig7     concurrent workloads |T|=1..6 (paper Figure 7)
+//	sweep    parameter-sensitivity sweeps (the "consistent savings" claim)
+//	all      everything above, in order
+//
+// Flags:
+//
+//	-scale N       workload scale factor (default 2)
+//	-cores N       number of cores (default 8)
+//	-quantum N     RRS time slice in cycles (default 2048)
+//	-extended      include the SJF and CPL extension baselines
+//	-missrates     also print miss-rate/conflict tables for fig6 and fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"locsched"
+)
+
+func main() {
+	scale := flag.Int("scale", 0, "workload scale factor (0 = default)")
+	cores := flag.Int("cores", 0, "number of cores (0 = default 8)")
+	quantum := flag.Int64("quantum", 0, "RRS quantum in cycles (0 = default)")
+	extended := flag.Bool("extended", false, "include SJF and CPL baselines")
+	missrates := flag.Bool("missrates", false, "also print miss-rate tables")
+	jsonOut := flag.Bool("json", false, "emit fig6/fig7 as JSON instead of tables")
+	flag.Usage = usage
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	cfg := locsched.DefaultConfig()
+	if *scale > 0 {
+		cfg.Workload.Scale = *scale
+	}
+	if *cores > 0 {
+		cfg.Machine.Cores = *cores
+	}
+	if *quantum > 0 {
+		cfg.Quantum = *quantum
+	}
+	var policies []locsched.Policy
+	if *extended {
+		policies = locsched.ExtendedPolicies()
+	}
+
+	cmd := flag.Arg(0)
+	var run func(name string) error
+	run = func(name string) error {
+		switch name {
+		case "table1":
+			out, err := locsched.FormatTable1(cfg.Workload)
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+		case "table2":
+			fmt.Println(locsched.FormatTable2(cfg))
+		case "fig6":
+			t, err := locsched.Figure6(cfg, policies)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return locsched.WriteTableJSON(os.Stdout, t)
+			}
+			fmt.Println(locsched.FormatTable(t))
+			if *missrates {
+				fmt.Println(locsched.FormatMissRates(t))
+			}
+		case "fig7":
+			t, err := locsched.Figure7(cfg, policies)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return locsched.WriteTableJSON(os.Stdout, t)
+			}
+			fmt.Println(locsched.FormatTable(t))
+			if *missrates {
+				fmt.Println(locsched.FormatMissRates(t))
+			}
+		case "sweep":
+			if err := sweeps(cfg); err != nil {
+				return err
+			}
+		case "ablate":
+			if err := ablations(cfg); err != nil {
+				return err
+			}
+		case "all":
+			for _, n := range []string{"table1", "table2", "fig6", "fig7", "sweep", "ablate"} {
+				if err := run(n); err != nil {
+					return err
+				}
+			}
+		default:
+			usage()
+			os.Exit(2)
+		}
+		return nil
+	}
+	if err := run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "locsched:", err)
+		os.Exit(1)
+	}
+}
+
+func sweeps(cfg locsched.Config) error {
+	pols := []locsched.Policy{locsched.RS, locsched.LS, locsched.LSM}
+	cs, err := locsched.SweepCacheSize(cfg, []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10}, pols)
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatSweep(cs))
+	as, err := locsched.SweepAssociativity(cfg, []int{1, 2, 4, 8}, pols)
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatSweep(as))
+	co, err := locsched.SweepCores(cfg, []int{2, 4, 8, 16}, pols)
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatSweep(co))
+	qs, err := locsched.SweepQuantum(cfg, []int64{512, 2048, 8192, 32768})
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatSweep(qs))
+	mp, err := locsched.SweepMissPenalty(cfg, []int64{25, 75, 150, 300}, pols)
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatSweep(mp))
+	return nil
+}
+
+func ablations(cfg locsched.Config) error {
+	sm, err := locsched.AblationStaticMode(cfg, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatSweep(sm))
+	rp, err := locsched.AblationReplacement(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatSweep(rp))
+	ix, err := locsched.AblationIndexing(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatSweep(ix))
+	rows, err := locsched.GreedyQuality(cfg, cfg.Machine.Cores)
+	if err != nil {
+		return err
+	}
+	fmt.Println(locsched.FormatGreedyQuality(rows, cfg.Machine.Cores))
+	return nil
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: locsched [flags] <command>
+
+commands: table1 table2 fig6 fig7 sweep ablate all
+
+flags:
+`)
+	flag.PrintDefaults()
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a tiny custom task (two dependent processes sharing a
+// band of one array), analyse its sharing, and run it under the paper's
+// locality-aware scheduler versus random scheduling.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locsched"
+)
+
+func main() {
+	cfg := locsched.DefaultConfig()
+	cfg.Machine.Cores = 4
+
+	// Eight 2KB bands of one array; each band has a producer process and
+	// a dependent consumer that re-reads exactly what was written.
+	const bands = 8
+	const bandElems = 512
+	data, err := locsched.NewArray("data", 4, bands*bandElems)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := locsched.NewGraph()
+	for b := int64(0); b < bands; b++ {
+		prodIter := locsched.Seg("i", 0, bandElems)
+		producer, err := locsched.NewProcessSpec(fmt.Sprintf("producer%d", b), prodIter, 2,
+			locsched.StreamRef(data, locsched.WriteAccess, prodIter, 1, b*bandElems))
+		if err != nil {
+			log.Fatal(err)
+		}
+		consIter := locsched.Seg("i", 0, bandElems)
+		consumer, err := locsched.NewProcessSpec(fmt.Sprintf("consumer%d", b), consIter, 2,
+			locsched.StreamRef(data, locsched.ReadAccess, consIter, 1, b*bandElems))
+		if err != nil {
+			log.Fatal(err)
+		}
+		pid := locsched.ProcID{Task: 0, Idx: int(2 * b)}
+		cid := locsched.ProcID{Task: 0, Idx: int(2*b + 1)}
+		if err := g.AddProcess(&locsched.Process{ID: pid, Spec: producer}); err != nil {
+			log.Fatal(err)
+		}
+		if err := g.AddProcess(&locsched.Process{ID: cid, Spec: consumer}); err != nil {
+			log.Fatal(err)
+		}
+		if err := g.AddDep(pid, cid); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	m, err := locsched.ComputeSharing(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p0 := locsched.ProcID{Task: 0, Idx: 0}
+	c0 := locsched.ProcID{Task: 0, Idx: 1}
+	fmt.Printf("each producer/consumer pair shares %d bytes\n", m.Shared(p0, c0))
+
+	arrays := []*locsched.Array{data}
+	for _, policy := range []locsched.Policy{locsched.RS, locsched.LS} {
+		res, err := locsched.RunGraph("quickstart", g, arrays, policy, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-3s: %6d cycles, %4.1f%% miss rate\n",
+			policy, res.Cycles, res.MissRate()*100)
+	}
+	fmt.Println("LS places each consumer on its producer's core: the reads hit the warm cache.")
+}

@@ -1,0 +1,91 @@
+// Relayout demonstrates the paper's Figure 4 data-mapping transform in
+// isolation. Two arrays, K1 and K2, are laid out so that they alias
+// cache-set-for-cache-set in a direct-mapped L1; a process that touches
+// both per iteration thrashes on every access. The LSM pipeline detects
+// the conflict (Figure 5's greedy over the conflict matrix) and re-lays
+// the arrays out in interleaved half-cache-page chunks:
+//
+//	addr'(e) = 2·addr(e) − addr(e) mod (C/2) + b,   b ∈ {0, C/2}
+//
+// after which K1 and K2 occupy disjoint cache sets and the thrash
+// disappears.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locsched"
+)
+
+func main() {
+	cfg := locsched.DefaultConfig()
+	cfg.Machine.Cores = 1
+	cfg.Machine.Cache.Assoc = 1 // direct-mapped, as in the paper's example
+
+	// Two 8KB (page-sized) arrays plus a small scratch array (the conflict-matrix
+	// threshold is an average, so a third array gives the heavy pair
+	// something to stand out against).
+	k1, err := locsched.NewArray("K1", 4, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k2, err := locsched.NewArray("K2", 4, 2048)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scratch, err := locsched.NewArray("scratch", 4, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrays := []*locsched.Array{k1, k2, scratch}
+
+	// p1 reads K1[i] and K2[i] each iteration (the paper's example);
+	// p2 then re-reads K2 — warm only if p1 didn't thrash it away.
+	g := locsched.NewGraph()
+	it1 := locsched.Seg("i", 0, 2048)
+	p1, err := locsched.NewProcessSpec("p1", it1, 2,
+		locsched.StreamRef(k1, locsched.ReadAccess, it1, 1, 0),
+		locsched.StreamRef(k2, locsched.ReadAccess, it1, 1, 0),
+		locsched.StreamRef(scratch, locsched.WriteAccess, it1, 0, 0),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	it2 := locsched.Seg("i", 0, 2048)
+	p2, err := locsched.NewProcessSpec("p2", it2, 2,
+		locsched.StreamRef(k2, locsched.ReadAccess, it2, 1, 0),
+		locsched.StreamRef(scratch, locsched.ReadAccess, it2, 0, 0),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id1 := locsched.ProcID{Task: 0, Idx: 0}
+	id2 := locsched.ProcID{Task: 0, Idx: 1}
+	if err := g.AddProcess(&locsched.Process{ID: id1, Spec: p1}); err != nil {
+		log.Fatal(err)
+	}
+	if err := g.AddProcess(&locsched.Process{ID: id2, Spec: p2}); err != nil {
+		log.Fatal(err)
+	}
+	if err := g.AddDep(id1, id2); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("direct-mapped 8KB L1; K1 and K2 alias set-for-set")
+	fmt.Printf("%-28s %10s %12s %10s\n", "", "cycles", "miss rate", "conflicts")
+	for _, policy := range []locsched.Policy{locsched.LS, locsched.LSM} {
+		res, err := locsched.RunGraph("relayout", g, arrays, policy, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "original layout (LS)"
+		if policy == locsched.LSM {
+			label = fmt.Sprintf("after re-layout (LSM, %d arrays)", res.Relaid)
+		}
+		fmt.Printf("%-28s %10d %11.1f%% %10d\n",
+			label, res.Cycles, res.MissRate()*100, res.Conflicts)
+	}
+	fmt.Println("\nThe transform places K1 in the first half of every cache page and")
+	fmt.Println("K2 in the second half: they can never map to the same cache set.")
+}

@@ -1,0 +1,101 @@
+// Videopipeline builds a realistic frame-processing pipeline with the
+// public API — deinterlace, denoise, scale, and encode stages over four
+// image stripes — and compares all four of the paper's schedulers on it.
+// Each stage re-reads the stripe its predecessor produced, so the
+// locality-aware schedulers keep whole chains on one core.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locsched"
+)
+
+const (
+	stripes    = 6   // deliberately not a multiple of the core count
+	stripeElem = 512 // 2KB per stripe, 4-byte elements
+)
+
+func main() {
+	cfg := locsched.DefaultConfig()
+	cfg.Machine.Cores = 4
+	cfg.Quantum = 512 // fine-grained slicing shows RRS's cache churn
+
+	frame, err := locsched.NewArray("frame", 4, stripes*stripeElem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	work, err := locsched.NewArray("work", 4, stripes*stripeElem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := locsched.NewArray("out", 4, stripes*stripeElem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrays := []*locsched.Array{frame, work, out}
+
+	g := locsched.NewGraph()
+	idx := 0
+	addProc := func(name string, spec *locsched.ProcessSpec) locsched.ProcID {
+		id := locsched.ProcID{Task: 0, Idx: idx}
+		idx++
+		if err := g.AddProcess(&locsched.Process{ID: id, Spec: spec}); err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	mustSpec := func(name string, iter *locsched.IterSpace, refs ...locsched.Ref) *locsched.ProcessSpec {
+		spec, err := locsched.NewProcessSpec(name, iter, 2, refs...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return spec
+	}
+
+	// Four stages per stripe: deinterlace -> denoise -> scale -> encode.
+	for s := int64(0); s < stripes; s++ {
+		base := s * stripeElem
+		it1 := locsched.Seg("i", 0, stripeElem)
+		deint := addProc("deint", mustSpec(fmt.Sprintf("deint%d", s), it1,
+			locsched.StreamRef(frame, locsched.ReadAccess, it1, 1, base),
+			locsched.StreamRef(work, locsched.WriteAccess, it1, 1, base),
+		))
+		it2 := locsched.Seg("i", 0, stripeElem)
+		denoise := addProc("denoise", mustSpec(fmt.Sprintf("denoise%d", s), it2,
+			locsched.StreamRef(work, locsched.ReadAccess, it2, 1, base),
+			locsched.StreamRef(work, locsched.ReadAccess, it2, 1, base+stripeElem/8),
+			locsched.StreamRef(work, locsched.WriteAccess, it2, 1, base),
+		))
+		it3 := locsched.Seg("i", 0, stripeElem)
+		scale := addProc("scale", mustSpec(fmt.Sprintf("scale%d", s), it3,
+			locsched.StreamRef(work, locsched.ReadAccess, it3, 1, base),
+			locsched.StreamRef(out, locsched.WriteAccess, it3, 1, base),
+		))
+		it4 := locsched.Seg("i", 0, stripeElem)
+		encode := addProc("encode", mustSpec(fmt.Sprintf("encode%d", s), it4,
+			locsched.StreamRef(out, locsched.ReadAccess, it4, 1, base),
+			locsched.StreamRef(out, locsched.ReadAccess, it4, 1, base+stripeElem/8),
+		))
+		for _, dep := range [][2]locsched.ProcID{{deint, denoise}, {denoise, scale}, {scale, encode}} {
+			if err := g.AddDep(dep[0], dep[1]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Printf("video pipeline: %d processes over %d stripes on %d cores\n\n",
+		g.Len(), stripes, cfg.Machine.Cores)
+	fmt.Printf("%-5s %10s %12s %10s\n", "", "cycles", "miss rate", "conflicts")
+	for _, policy := range locsched.Policies() {
+		res, err := locsched.RunGraph("videopipeline", g, arrays, policy, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s %10d %11.1f%% %10d\n",
+			policy, res.Cycles, res.MissRate()*100, res.Conflicts)
+	}
+	fmt.Println("\nLS/LSM keep each stripe's four stages on one core: every stage")
+	fmt.Println("after the first reads its input from the warm cache.")
+}

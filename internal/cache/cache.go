@@ -1,0 +1,433 @@
+// Package cache models the per-core on-chip data caches of the simulated
+// MPSoC: set-associative, with pluggable replacement, fixed geometry
+// (Table 2 of the paper: 8KB, 2-way per core), and a miss classifier that
+// separates conflict misses from capacity and cold misses — the quantity
+// the paper's data-mapping phase (LSM) is designed to remove.
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Geometry describes a cache's shape.
+type Geometry struct {
+	Size      int64 // total bytes
+	BlockSize int64 // line size in bytes
+	Assoc     int   // ways per set
+}
+
+// Validate checks that the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	if g.Size <= 0 || g.BlockSize <= 0 || g.Assoc <= 0 {
+		return fmt.Errorf("cache: geometry fields must be positive: %+v", g)
+	}
+	if g.Size%(g.BlockSize*int64(g.Assoc)) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by block %d × assoc %d", g.Size, g.BlockSize, g.Assoc)
+	}
+	return nil
+}
+
+// NumSets returns the number of sets.
+func (g Geometry) NumSets() int64 { return g.Size / (g.BlockSize * int64(g.Assoc)) }
+
+// NumLines returns the total number of lines.
+func (g Geometry) NumLines() int64 { return g.Size / g.BlockSize }
+
+// PageSize returns the paper's "cache page": cache size / associativity,
+// i.e. the address span after which set indices repeat.
+func (g Geometry) PageSize() int64 { return g.Size / int64(g.Assoc) }
+
+// BlockOf returns the block (line) number containing the address.
+func (g Geometry) BlockOf(addr int64) int64 { return addr / g.BlockSize }
+
+// SetOf returns the set index of the address.
+func (g Geometry) SetOf(addr int64) int64 { return (addr / g.BlockSize) % g.NumSets() }
+
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dKB %d-way %dB-blocks", g.Size/1024, g.Assoc, g.BlockSize)
+}
+
+// Replacement selects the victim policy within a set.
+type Replacement int
+
+const (
+	// LRU evicts the least recently used line.
+	LRU Replacement = iota
+	// FIFO evicts the line resident longest.
+	FIFO
+	// RandomRepl evicts a pseudo-random line.
+	RandomRepl
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case RandomRepl:
+		return "random"
+	}
+	return fmt.Sprintf("Replacement(%d)", int(r))
+}
+
+// MissClass classifies a miss.
+type MissClass int
+
+const (
+	// Hit marks a cache hit (not a miss).
+	Hit MissClass = iota
+	// ColdMiss is the first-ever access to the block.
+	ColdMiss
+	// CapacityMiss would also have missed in a fully-associative cache of
+	// equal capacity.
+	CapacityMiss
+	// ConflictMiss hits in the fully-associative shadow but missed in the
+	// set-associative cache: limited associativity is to blame.
+	ConflictMiss
+)
+
+func (m MissClass) String() string {
+	switch m {
+	case Hit:
+		return "hit"
+	case ColdMiss:
+		return "cold"
+	case CapacityMiss:
+		return "capacity"
+	case ConflictMiss:
+		return "conflict"
+	}
+	return fmt.Sprintf("MissClass(%d)", int(m))
+}
+
+// Stats accumulates access counts.
+type Stats struct {
+	Accesses   int64
+	Hits       int64
+	Cold       int64
+	Capacity   int64
+	Conflict   int64
+	Writebacks int64 // dirty evictions under WriteBack
+}
+
+// Misses returns the total miss count.
+func (s Stats) Misses() int64 { return s.Cold + s.Capacity + s.Conflict }
+
+// HitRate returns hits/accesses (0 for no accesses).
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Cold += o.Cold
+	s.Capacity += o.Capacity
+	s.Conflict += o.Conflict
+	s.Writebacks += o.Writebacks
+}
+
+type line struct {
+	tag   int64
+	valid bool
+	dirty bool
+	used  int64 // last-use tick (LRU) or fill tick (FIFO)
+}
+
+// WritePolicy selects how stores interact with memory.
+type WritePolicy int
+
+const (
+	// WriteThrough sends every store to memory (the default; store cost
+	// is charged by the machine model, not the cache).
+	WriteThrough WritePolicy = iota
+	// WriteBack marks lines dirty and pays for memory only when a dirty
+	// line is evicted; Stats.Writebacks counts those evictions.
+	WriteBack
+)
+
+func (w WritePolicy) String() string {
+	if w == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// Cache is a set-associative cache with an optional fully-associative
+// shadow directory for miss classification.
+type Cache struct {
+	geom   Geometry
+	repl   Replacement
+	sets   [][]line
+	tick   int64
+	stats  Stats
+	rng    *rand.Rand
+	shadow *shadowLRU
+	seen   map[int64]bool          // blocks ever referenced, for cold-miss detection
+	index  func(block int64) int64 // block → set mapping (see Indexing)
+	write  WritePolicy
+}
+
+// Option configures a Cache.
+type Option func(*Cache)
+
+// WithReplacement selects the replacement policy (default LRU).
+func WithReplacement(r Replacement) Option {
+	return func(c *Cache) { c.repl = r }
+}
+
+// WithClassification enables conflict/capacity/cold miss classification
+// via a fully-associative LRU shadow of equal capacity. Costs extra time
+// and memory per access.
+func WithClassification() Option {
+	return func(c *Cache) {
+		c.shadow = newShadowLRU(c.geom.NumLines())
+		c.seen = make(map[int64]bool)
+	}
+}
+
+// WithSeed seeds the RandomRepl policy (default seed 1).
+func WithSeed(seed int64) Option {
+	return func(c *Cache) { c.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithWritePolicy selects the store policy (default WriteThrough).
+func WithWritePolicy(w WritePolicy) Option {
+	return func(c *Cache) { c.write = w }
+}
+
+// New builds a cache with the given geometry.
+func New(geom Geometry, opts ...Option) (*Cache, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	numSets := geom.NumSets()
+	c := &Cache{
+		geom:  geom,
+		repl:  LRU,
+		sets:  make([][]line, numSets),
+		rng:   rand.New(rand.NewSource(1)),
+		index: ModuloIndexing.indexFunc(numSets),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, geom.Assoc)
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(geom Geometry, opts ...Option) *Cache {
+	c, err := New(geom, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Geometry returns the cache's shape.
+func (c *Cache) Geometry() Geometry { return c.geom }
+
+// Access simulates one read reference to addr; see AccessRW.
+func (c *Cache) Access(addr int64) MissClass {
+	class, _ := c.AccessRW(addr, false)
+	return class
+}
+
+// AccessRW simulates one reference to addr and returns its classification
+// (Hit, or the miss class; without WithClassification every miss reports
+// ColdMiss on first touch of a block and CapacityMiss otherwise).
+// wroteBack reports that the fill evicted a dirty line (WriteBack only).
+func (c *Cache) AccessRW(addr int64, write bool) (class MissClass, wroteBack bool) {
+	c.tick++
+	c.stats.Accesses++
+	block := c.geom.BlockOf(addr)
+	set := c.sets[c.index(block)]
+
+	shadowHit := false
+	if c.shadow != nil {
+		shadowHit = c.shadow.access(block)
+	}
+
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			if c.repl == LRU {
+				set[i].used = c.tick
+			}
+			if write && c.write == WriteBack {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return Hit, false
+		}
+	}
+
+	// Miss: pick a victim and fill.
+	victim := 0
+	switch c.repl {
+	case LRU, FIFO:
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+			if set[i].used < set[victim].used {
+				victim = i
+			}
+		}
+	case RandomRepl:
+		victim = -1
+		for i := range set {
+			if !set[i].valid {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = c.rng.Intn(len(set))
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+		wroteBack = true
+	}
+	set[victim] = line{
+		tag:   block,
+		valid: true,
+		used:  c.tick,
+		dirty: write && c.write == WriteBack,
+	}
+
+	// Without WithClassification every miss is reported as capacity; with
+	// it, first-touch misses are cold and shadow hits are conflicts.
+	class = CapacityMiss
+	if c.shadow != nil {
+		switch {
+		case !c.seen[block]:
+			class = ColdMiss
+		case shadowHit:
+			class = ConflictMiss
+		}
+		c.seen[block] = true
+	}
+	switch class {
+	case ColdMiss:
+		c.stats.Cold++
+	case ConflictMiss:
+		c.stats.Conflict++
+	default:
+		c.stats.Capacity++
+	}
+	return class, wroteBack
+}
+
+// Contains reports whether the block holding addr is resident (without
+// touching stats or recency).
+func (c *Cache) Contains(addr int64) bool {
+	block := c.geom.BlockOf(addr)
+	set := c.sets[c.index(block)]
+	for i := range set {
+		if set[i].valid && set[i].tag == block {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line, counting dirty lines as writebacks
+// (shadow state and the cold-miss directory are preserved: flushing does
+// not make data "never seen").
+func (c *Cache) Flush() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			if c.sets[s][i].valid && c.sets[s][i].dirty {
+				c.stats.Writebacks++
+			}
+			c.sets[s][i] = line{}
+		}
+	}
+	if c.shadow != nil {
+		c.shadow.flush()
+	}
+}
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters, keeping cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// shadowLRU is a fully-associative LRU directory of block numbers used to
+// classify conflict vs. capacity misses (Hill & Smith's classical scheme).
+type shadowLRU struct {
+	capacity int64
+	nodes    map[int64]*shadowNode
+	head     *shadowNode // most recent
+	tail     *shadowNode // least recent
+}
+
+type shadowNode struct {
+	block      int64
+	prev, next *shadowNode
+}
+
+func newShadowLRU(capacity int64) *shadowLRU {
+	return &shadowLRU{capacity: capacity, nodes: make(map[int64]*shadowNode)}
+}
+
+// access touches block, returns whether it was resident, and makes it MRU.
+func (s *shadowLRU) access(block int64) bool {
+	if n, ok := s.nodes[block]; ok {
+		s.unlink(n)
+		s.pushFront(n)
+		return true
+	}
+	n := &shadowNode{block: block}
+	s.nodes[block] = n
+	s.pushFront(n)
+	if int64(len(s.nodes)) > s.capacity {
+		evict := s.tail
+		s.unlink(evict)
+		delete(s.nodes, evict.block)
+	}
+	return false
+}
+
+func (s *shadowLRU) flush() {
+	s.nodes = make(map[int64]*shadowNode)
+	s.head, s.tail = nil, nil
+}
+
+func (s *shadowLRU) pushFront(n *shadowNode) {
+	n.prev = nil
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}
+
+func (s *shadowLRU) unlink(n *shadowNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,302 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperGeom is the default L1 of Table 2: 8KB, 2-way. We use 32B blocks.
+var paperGeom = Geometry{Size: 8 * 1024, BlockSize: 32, Assoc: 2}
+
+func TestGeometry(t *testing.T) {
+	g := paperGeom
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.NumSets() != 128 {
+		t.Errorf("NumSets = %d, want 128", g.NumSets())
+	}
+	if g.NumLines() != 256 {
+		t.Errorf("NumLines = %d, want 256", g.NumLines())
+	}
+	// The paper: cache page = cache size / associativity = 4KB.
+	if g.PageSize() != 4096 {
+		t.Errorf("PageSize = %d, want 4096", g.PageSize())
+	}
+	if g.SetOf(0) != 0 || g.SetOf(32) != 1 || g.SetOf(4096) != 0 {
+		t.Error("SetOf mapping wrong: sets must repeat every PageSize bytes")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Geometry{
+		{Size: 0, BlockSize: 32, Assoc: 2},
+		{Size: 8192, BlockSize: 0, Assoc: 2},
+		{Size: 8192, BlockSize: 32, Assoc: 0},
+		{Size: 100, BlockSize: 32, Assoc: 2}, // not divisible
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("geometry %+v should be invalid", g)
+		}
+	}
+	if _, err := New(Geometry{Size: 100, BlockSize: 32, Assoc: 2}); err == nil {
+		t.Error("New with invalid geometry should fail")
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := MustNew(paperGeom)
+	if got := c.Access(0); got == Hit {
+		t.Error("first access should miss")
+	}
+	if got := c.Access(0); got != Hit {
+		t.Errorf("second access = %v, want hit", got)
+	}
+	if got := c.Access(31); got != Hit {
+		t.Errorf("same-block access = %v, want hit", got)
+	}
+	if got := c.Access(32); got == Hit {
+		t.Error("next block should miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses() != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSetConflictLRU(t *testing.T) {
+	c := MustNew(paperGeom) // 2-way, sets repeat every 4096 bytes
+	// Three blocks mapping to set 0: 0, 4096, 8192.
+	c.Access(0)
+	c.Access(4096)
+	if c.Access(0) != Hit {
+		t.Error("0 should still be resident (2-way)")
+	}
+	c.Access(8192) // evicts LRU = 4096
+	if c.Access(4096) == Hit {
+		t.Error("4096 should have been evicted by LRU")
+	}
+	if c.Access(0) == Hit {
+		// After touching 8192 and re-missing 4096, 0 was evicted too.
+		t.Log("0 evicted as expected cascade")
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	c := MustNew(paperGeom)
+	c.Access(0)    // set 0
+	c.Access(4096) // set 0; LRU is 0
+	c.Access(0)    // touch 0; LRU is 4096
+	c.Access(8192) // evicts 4096
+	if !c.Contains(0) {
+		t.Error("0 should be resident after LRU touch")
+	}
+	if c.Contains(4096) {
+		t.Error("4096 should be the LRU victim")
+	}
+	if !c.Contains(8192) {
+		t.Error("8192 should be resident")
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	c := MustNew(paperGeom, WithReplacement(FIFO))
+	c.Access(0)
+	c.Access(4096)
+	c.Access(0)    // touch does not refresh FIFO age
+	c.Access(8192) // evicts 0 (oldest fill)
+	if c.Contains(0) {
+		t.Error("FIFO should have evicted the oldest fill (0)")
+	}
+	if !c.Contains(4096) || !c.Contains(8192) {
+		t.Error("4096 and 8192 should be resident")
+	}
+}
+
+func TestRandomReplacementStaysLegal(t *testing.T) {
+	c := MustNew(paperGeom, WithReplacement(RandomRepl), WithSeed(7))
+	for i := int64(0); i < 1000; i++ {
+		c.Access((i % 8) * 4096) // 8 blocks fighting over set 0 (2 ways)
+	}
+	st := c.Stats()
+	if st.Accesses != 1000 {
+		t.Errorf("Accesses = %d, want 1000", st.Accesses)
+	}
+	if st.Hits+st.Misses() != st.Accesses {
+		t.Errorf("hits %d + misses %d != accesses %d", st.Hits, st.Misses(), st.Accesses)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := MustNew(paperGeom)
+	c.Access(0)
+	if !c.Contains(0) {
+		t.Fatal("0 should be resident")
+	}
+	c.Flush()
+	if c.Contains(0) {
+		t.Error("flush should invalidate all lines")
+	}
+	if c.Access(0) == Hit {
+		t.Error("access after flush should miss")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := MustNew(paperGeom)
+	c.Access(0)
+	c.Access(0)
+	c.ResetStats()
+	st := c.Stats()
+	if st.Accesses != 0 || st.Hits != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	// Contents survive reset.
+	if c.Access(0) != Hit {
+		t.Error("contents should survive ResetStats")
+	}
+}
+
+func TestMissClassification(t *testing.T) {
+	c := MustNew(paperGeom, WithClassification())
+	// Cold miss on first touch.
+	if got := c.Access(0); got != ColdMiss {
+		t.Errorf("first access = %v, want cold", got)
+	}
+	// Conflict: three blocks in set 0 of a 2-way cache, working set far
+	// below total capacity → misses classified as conflict.
+	c.Access(4096)
+	c.Access(8192)
+	if got := c.Access(0); got != ConflictMiss {
+		t.Errorf("re-access of 0 = %v, want conflict (fits in full-assoc)", got)
+	}
+	st := c.Stats()
+	if st.Conflict < 1 || st.Cold != 3 {
+		t.Errorf("stats = %+v, want 3 cold and >=1 conflict", st)
+	}
+}
+
+func TestCapacityClassification(t *testing.T) {
+	c := MustNew(paperGeom, WithClassification())
+	// Stream twice through 4× the cache capacity: second pass misses are
+	// capacity misses (they also miss in the fully-associative shadow).
+	span := paperGeom.Size * 4
+	for pass := 0; pass < 2; pass++ {
+		for a := int64(0); a < span; a += paperGeom.BlockSize {
+			c.Access(a)
+		}
+	}
+	st := c.Stats()
+	if st.Cold != span/paperGeom.BlockSize {
+		t.Errorf("cold = %d, want %d", st.Cold, span/paperGeom.BlockSize)
+	}
+	if st.Capacity == 0 {
+		t.Error("streaming beyond capacity should produce capacity misses")
+	}
+	if st.Conflict != 0 {
+		t.Errorf("sequential streaming should produce no conflict misses, got %d", st.Conflict)
+	}
+}
+
+func TestClassificationSurvivesFlush(t *testing.T) {
+	c := MustNew(paperGeom, WithClassification())
+	c.Access(0)
+	c.Flush()
+	// Block 0 was seen before: the re-miss is not cold.
+	if got := c.Access(0); got == ColdMiss {
+		t.Error("re-access after flush should not be a cold miss")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Accesses: 10, Hits: 5, Cold: 2, Capacity: 2, Conflict: 1}
+	b := Stats{Accesses: 4, Hits: 1, Cold: 1, Capacity: 1, Conflict: 1}
+	a.Add(b)
+	if a.Accesses != 14 || a.Hits != 6 || a.Misses() != 8 {
+		t.Errorf("Add result = %+v", a)
+	}
+	if hr := a.HitRate(); hr < 0.42 || hr > 0.43 {
+		t.Errorf("HitRate = %f", hr)
+	}
+	if (Stats{}).HitRate() != 0 {
+		t.Error("empty HitRate should be 0")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, r := range []Replacement{LRU, FIFO, RandomRepl, Replacement(99)} {
+		if r.String() == "" {
+			t.Errorf("empty String for %d", int(r))
+		}
+	}
+	for _, m := range []MissClass{Hit, ColdMiss, CapacityMiss, ConflictMiss, MissClass(99)} {
+		if m.String() == "" {
+			t.Errorf("empty String for %d", int(m))
+		}
+	}
+	if paperGeom.String() == "" {
+		t.Error("geometry String should be non-empty")
+	}
+}
+
+// TestQuickFullyAssocNoConflict property: in a fully-associative cache, a
+// working set no larger than capacity never misses after warmup.
+func TestQuickFullyAssocNoConflict(t *testing.T) {
+	geom := Geometry{Size: 1024, BlockSize: 32, Assoc: 32} // fully assoc, 32 lines
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(geom)
+		// Working set of exactly 32 blocks.
+		blocks := make([]int64, 32)
+		for i := range blocks {
+			blocks[i] = int64(i) * geom.BlockSize
+		}
+		for _, b := range blocks {
+			c.Access(b)
+		}
+		c.ResetStats()
+		for i := 0; i < 500; i++ {
+			c.Access(blocks[rng.Intn(len(blocks))])
+		}
+		return c.Stats().Misses() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStatsConsistency property: hits + misses == accesses under any
+// access pattern and policy.
+func TestQuickStatsConsistency(t *testing.T) {
+	f := func(addrs []uint16, policyPick uint8) bool {
+		policy := []Replacement{LRU, FIFO, RandomRepl}[int(policyPick)%3]
+		c := MustNew(paperGeom, WithReplacement(policy), WithClassification())
+		for _, a := range addrs {
+			c.Access(int64(a))
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses() == st.Accesses && st.Accesses == int64(len(addrs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSetAssocVsShadow property: the set-associative cache never
+// outperforms its fully-associative shadow on misses-after-warmup... we
+// check the weaker, always-true invariant that conflict misses are only
+// reported when classification is enabled.
+func TestQuickConflictOnlyWithClassification(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := MustNew(paperGeom)
+		for _, a := range addrs {
+			c.Access(int64(a))
+		}
+		return c.Stats().Conflict == 0 && c.Stats().Cold == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

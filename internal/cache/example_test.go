@@ -1,0 +1,23 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"locsched/internal/cache"
+)
+
+// ExampleCache shows the conflict-miss classification the LSM evaluation
+// relies on: three blocks fighting over one set of a 2-way cache miss
+// because of limited associativity, not capacity.
+func ExampleCache() {
+	c := cache.MustNew(
+		cache.Geometry{Size: 8 << 10, BlockSize: 32, Assoc: 2},
+		cache.WithClassification(),
+	)
+	c.Access(0)    // cold
+	c.Access(4096) // cold, same set (the paper's cache page is 4KB)
+	c.Access(8192) // cold, evicts one way
+	class := c.Access(0)
+	fmt.Println(class)
+	// Output: conflict
+}

@@ -1,0 +1,83 @@
+package cache
+
+// Indexing selects how block numbers map to cache sets.
+//
+// The paper's related work (Kharbutli et al., HPCA'04, its reference [5])
+// proposes prime-modulo indexing as a hardware alternative to software
+// conflict avoidance: hashing with a prime number of effective sets
+// breaks the power-of-two striding that makes same-offset arrays alias.
+// We implement it as a pluggable index function so LSM's software
+// re-layout can be compared against the hardware approach
+// (BenchmarkAblationIndexing).
+type Indexing int
+
+const (
+	// ModuloIndexing is the conventional set index: block mod numSets.
+	ModuloIndexing Indexing = iota
+	// PrimeModuloIndexing hashes with the largest prime <= numSets;
+	// sets beyond the prime are unused (the scheme trades a few sets for
+	// conflict resistance).
+	PrimeModuloIndexing
+	// PrimeDisplacementIndexing keeps all sets usable: the set index is
+	// (block + prime*(block/numSets)) mod numSets, displacing successive
+	// "pages" of blocks by a prime stride.
+	PrimeDisplacementIndexing
+)
+
+func (ix Indexing) String() string {
+	switch ix {
+	case ModuloIndexing:
+		return "modulo"
+	case PrimeModuloIndexing:
+		return "prime-modulo"
+	case PrimeDisplacementIndexing:
+		return "prime-displacement"
+	}
+	return "Indexing(?)"
+}
+
+// indexFunc returns the block→set mapping for the geometry.
+func (ix Indexing) indexFunc(numSets int64) func(block int64) int64 {
+	switch ix {
+	case PrimeModuloIndexing:
+		p := largestPrimeAtMost(numSets)
+		return func(block int64) int64 { return block % p }
+	case PrimeDisplacementIndexing:
+		p := largestPrimeAtMost(numSets)
+		return func(block int64) int64 {
+			return (block + p*(block/numSets)) % numSets
+		}
+	default:
+		return func(block int64) int64 { return block % numSets }
+	}
+}
+
+// WithIndexing selects the set-index hash (default ModuloIndexing).
+func WithIndexing(ix Indexing) Option {
+	return func(c *Cache) { c.index = ix.indexFunc(c.geom.NumSets()) }
+}
+
+// largestPrimeAtMost returns the largest prime <= n (2 for n < 2).
+func largestPrimeAtMost(n int64) int64 {
+	if n < 2 {
+		return 2
+	}
+	for p := n; p >= 2; p-- {
+		if isPrime(p) {
+			return p
+		}
+	}
+	return 2
+}
+
+func isPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

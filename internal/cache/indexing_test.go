@@ -1,0 +1,112 @@
+package cache
+
+import "testing"
+
+func TestPrimeHelpers(t *testing.T) {
+	cases := []struct{ n, want int64 }{
+		{128, 127}, {127, 127}, {100, 97}, {2, 2}, {1, 2}, {0, 2}, {256, 251},
+	}
+	for _, c := range cases {
+		if got := largestPrimeAtMost(c.n); got != c.want {
+			t.Errorf("largestPrimeAtMost(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	for _, p := range []int64{2, 3, 5, 7, 97, 127, 251} {
+		if !isPrime(p) {
+			t.Errorf("isPrime(%d) = false", p)
+		}
+	}
+	for _, np := range []int64{0, 1, 4, 100, 128} {
+		if isPrime(np) {
+			t.Errorf("isPrime(%d) = true", np)
+		}
+	}
+}
+
+func TestIndexingStrings(t *testing.T) {
+	for _, ix := range []Indexing{ModuloIndexing, PrimeModuloIndexing, PrimeDisplacementIndexing, Indexing(99)} {
+		if ix.String() == "" {
+			t.Errorf("empty String for %d", int(ix))
+		}
+	}
+}
+
+func TestIndexFuncsInRange(t *testing.T) {
+	const numSets = 128
+	for _, ix := range []Indexing{ModuloIndexing, PrimeModuloIndexing, PrimeDisplacementIndexing} {
+		f := ix.indexFunc(numSets)
+		for block := int64(0); block < 10000; block++ {
+			s := f(block)
+			if s < 0 || s >= numSets {
+				t.Fatalf("%v: set %d out of range for block %d", ix, s, block)
+			}
+		}
+	}
+}
+
+// TestPrimeModuloBreaksPowerOfTwoAliasing: blocks strided by the set
+// count all alias under modulo indexing but spread under prime modulo —
+// the property Kharbutli et al. exploit.
+func TestPrimeModuloBreaksPowerOfTwoAliasing(t *testing.T) {
+	const numSets = 128
+	mod := ModuloIndexing.indexFunc(numSets)
+	prime := PrimeModuloIndexing.indexFunc(numSets)
+
+	distinct := func(f func(int64) int64) int {
+		seen := make(map[int64]bool)
+		for i := int64(0); i < 16; i++ {
+			seen[f(i*numSets)] = true // same set under plain modulo
+		}
+		return len(seen)
+	}
+	if got := distinct(mod); got != 1 {
+		t.Errorf("modulo indexing spread strided blocks over %d sets, want 1", got)
+	}
+	if got := distinct(prime); got < 8 {
+		t.Errorf("prime-modulo spread strided blocks over only %d sets, want >= 8", got)
+	}
+}
+
+// TestPrimeModuloReducesConflicts: three page-aligned arrays cycling
+// through the same sets thrash a 2-way modulo-indexed cache; the prime
+// hash spreads them.
+func TestPrimeModuloReducesConflicts(t *testing.T) {
+	geom := Geometry{Size: 8 * 1024, BlockSize: 32, Assoc: 2}
+	run := func(ix Indexing) Stats {
+		c := MustNew(geom, WithClassification(), WithIndexing(ix))
+		// Three 4KB regions at 4KB-aligned bases: identical set footprints
+		// under modulo indexing. Walk them in lockstep twice.
+		bases := []int64{0, 1 << 20, 2 << 20}
+		for pass := 0; pass < 2; pass++ {
+			for off := int64(0); off < 4096; off += 4 {
+				for _, b := range bases {
+					c.Access(b + off)
+				}
+			}
+		}
+		return c.Stats()
+	}
+	modulo := run(ModuloIndexing)
+	prime := run(PrimeModuloIndexing)
+	if modulo.Conflict == 0 {
+		t.Fatal("modulo indexing should thrash in this scenario")
+	}
+	if prime.Conflict*2 > modulo.Conflict {
+		t.Errorf("prime-modulo conflicts %d should be well below modulo's %d",
+			prime.Conflict, modulo.Conflict)
+	}
+}
+
+// TestPrimeDisplacementKeepsAllSets: unlike prime modulo, displacement
+// indexing uses every set.
+func TestPrimeDisplacementKeepsAllSets(t *testing.T) {
+	const numSets = 128
+	f := PrimeDisplacementIndexing.indexFunc(numSets)
+	seen := make(map[int64]bool)
+	for block := int64(0); block < numSets*numSets; block++ {
+		seen[f(block)] = true
+	}
+	if len(seen) != numSets {
+		t.Errorf("prime displacement reached %d of %d sets", len(seen), numSets)
+	}
+}

@@ -1,0 +1,78 @@
+package cache
+
+import "testing"
+
+func TestWriteThroughNeverDirties(t *testing.T) {
+	c := MustNew(paperGeom) // default write-through
+	c.AccessRW(0, true)
+	c.AccessRW(4096, true)
+	// Evict 0's line by filling its set.
+	if _, wb := c.AccessRW(8192, true); wb {
+		t.Error("write-through must never report writebacks")
+	}
+	if c.Stats().Writebacks != 0 {
+		t.Errorf("Writebacks = %d, want 0", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	c := MustNew(paperGeom, WithWritePolicy(WriteBack))
+	// Dirty two lines of set 0, then evict one with a third block.
+	c.AccessRW(0, true)
+	c.AccessRW(4096, true)
+	_, wb := c.AccessRW(8192, false)
+	if !wb {
+		t.Error("evicting a dirty line must report a writeback")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("Writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteBackCleanEvictionFree(t *testing.T) {
+	c := MustNew(paperGeom, WithWritePolicy(WriteBack))
+	// Reads only: evictions are clean.
+	c.AccessRW(0, false)
+	c.AccessRW(4096, false)
+	if _, wb := c.AccessRW(8192, false); wb {
+		t.Error("clean eviction must not report a writeback")
+	}
+	if c.Stats().Writebacks != 0 {
+		t.Errorf("Writebacks = %d, want 0", c.Stats().Writebacks)
+	}
+}
+
+func TestWriteBackHitDirtiesLine(t *testing.T) {
+	c := MustNew(paperGeom, WithWritePolicy(WriteBack))
+	c.AccessRW(0, false) // clean fill
+	c.AccessRW(0, true)  // dirtying hit
+	c.AccessRW(4096, false)
+	if _, wb := c.AccessRW(8192, false); !wb {
+		t.Error("the line dirtied by a write hit must write back on eviction")
+	}
+}
+
+func TestFlushWritesBackDirtyLines(t *testing.T) {
+	c := MustNew(paperGeom, WithWritePolicy(WriteBack))
+	c.AccessRW(0, true)
+	c.AccessRW(32, true) // same? no: block 1 — different line
+	c.AccessRW(64, false)
+	c.Flush()
+	if got := c.Stats().Writebacks; got != 2 {
+		t.Errorf("Flush writebacks = %d, want 2 (two dirty lines)", got)
+	}
+}
+
+func TestWritePolicyString(t *testing.T) {
+	if WriteThrough.String() == "" || WriteBack.String() == "" {
+		t.Error("write policies should render")
+	}
+}
+
+func TestStatsAddIncludesWritebacks(t *testing.T) {
+	a := Stats{Writebacks: 3}
+	a.Add(Stats{Writebacks: 4})
+	if a.Writebacks != 7 {
+		t.Errorf("Writebacks = %d, want 7", a.Writebacks)
+	}
+}

@@ -1,0 +1,303 @@
+package eset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	s := Empty()
+	if !s.IsEmpty() || s.Card() != 0 || s.NumRuns() != 0 {
+		t.Errorf("Empty() should be empty: %v", s)
+	}
+	if s.Contains(0) {
+		t.Error("empty set should not contain 0")
+	}
+	if _, ok := s.Min(); ok {
+		t.Error("Min of empty set should report !ok")
+	}
+	if _, ok := s.Max(); ok {
+		t.Error("Max of empty set should report !ok")
+	}
+	if s.String() != "{}" {
+		t.Errorf("String = %q, want {}", s.String())
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Set
+	if s.Card() != 0 || !s.IsEmpty() {
+		t.Error("zero-value Set should be empty")
+	}
+	u := s.Union(FromSlice([]int64{1, 2}))
+	if u.Card() != 2 {
+		t.Errorf("union with zero-value set: Card = %d, want 2", u.Card())
+	}
+}
+
+func TestBuilderCoalescing(t *testing.T) {
+	b := NewBuilder()
+	b.AddRange(10, 20)
+	b.AddRange(20, 30) // adjacent: should coalesce
+	b.AddRange(5, 12)  // overlapping
+	b.Add(3)
+	b.AddRange(50, 50) // empty: ignored
+	b.AddRange(60, 55) // inverted: ignored
+	s := b.Build()
+	if s.NumRuns() != 2 {
+		t.Fatalf("NumRuns = %d (%v), want 2", s.NumRuns(), s)
+	}
+	runs := s.Runs()
+	if runs[0] != (Run{3, 4}) || runs[1] != (Run{5, 30}) {
+		t.Errorf("runs = %v, want [{3 4} {5 30}]", runs)
+	}
+	if s.Card() != 1+25 {
+		t.Errorf("Card = %d, want 26", s.Card())
+	}
+}
+
+func TestBuilderReset(t *testing.T) {
+	b := NewBuilder()
+	b.Add(1)
+	first := b.Build()
+	second := b.Build()
+	if first.Card() != 1 {
+		t.Errorf("first build Card = %d, want 1", first.Card())
+	}
+	if !second.IsEmpty() {
+		t.Error("builder should reset after Build")
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := FromRuns(Run{0, 10}, Run{20, 30})
+	for _, e := range []int64{0, 9, 20, 29} {
+		if !s.Contains(e) {
+			t.Errorf("Contains(%d) = false, want true", e)
+		}
+	}
+	for _, e := range []int64{-1, 10, 15, 19, 30, 100} {
+		if s.Contains(e) {
+			t.Errorf("Contains(%d) = true, want false", e)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := FromRuns(Run{5, 10}, Run{20, 25})
+	if mn, ok := s.Min(); !ok || mn != 5 {
+		t.Errorf("Min = %d,%v, want 5,true", mn, ok)
+	}
+	if mx, ok := s.Max(); !ok || mx != 24 {
+		t.Errorf("Max = %d,%v, want 24,true", mx, ok)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	// The paper's window overlap: [0,3000) ∩ [1000,4000) = [1000,3000).
+	a := FromRuns(Run{0, 3000})
+	b := FromRuns(Run{1000, 4000})
+	got := a.Intersect(b)
+	if got.Card() != 2000 {
+		t.Errorf("Card = %d, want 2000", got.Card())
+	}
+	if got.IntersectCard(a) != 2000 {
+		t.Errorf("IntersectCard mismatch")
+	}
+	if a.IntersectCard(b) != 2000 {
+		t.Errorf("IntersectCard(a,b) = %d, want 2000", a.IntersectCard(b))
+	}
+}
+
+func TestIntersectMultiRun(t *testing.T) {
+	a := FromRuns(Run{0, 10}, Run{20, 30}, Run{40, 50})
+	b := FromRuns(Run{5, 25}, Run{45, 60})
+	got := a.Intersect(b)
+	want := FromRuns(Run{5, 10}, Run{20, 25}, Run{45, 50})
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got.Card() != a.IntersectCard(b) {
+		t.Errorf("IntersectCard = %d, Intersect.Card = %d", a.IntersectCard(b), got.Card())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := FromRuns(Run{0, 10})
+	b := FromRuns(Run{5, 15}, Run{20, 25})
+	got := a.Union(b)
+	want := FromRuns(Run{0, 15}, Run{20, 25})
+	if !got.Equal(want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := FromRuns(Run{0, 30})
+	b := FromRuns(Run{5, 10}, Run{20, 25})
+	got := a.Subtract(b)
+	want := FromRuns(Run{0, 5}, Run{10, 20}, Run{25, 30})
+	if !got.Equal(want) {
+		t.Errorf("Subtract = %v, want %v", got, want)
+	}
+	if !a.Subtract(a).IsEmpty() {
+		t.Error("a - a should be empty")
+	}
+	if !Empty().Subtract(a).IsEmpty() {
+		t.Error("{} - a should be empty")
+	}
+	if !a.Subtract(Empty()).Equal(a) {
+		t.Error("a - {} should equal a")
+	}
+}
+
+func TestSubtractClipsTail(t *testing.T) {
+	a := FromRuns(Run{0, 10})
+	b := FromRuns(Run{8, 100})
+	got := a.Subtract(b)
+	want := FromRuns(Run{0, 8})
+	if !got.Equal(want) {
+		t.Errorf("Subtract = %v, want %v", got, want)
+	}
+}
+
+func TestShift(t *testing.T) {
+	a := FromRuns(Run{0, 10}, Run{20, 30})
+	got := a.Shift(100)
+	want := FromRuns(Run{100, 110}, Run{120, 130})
+	if !got.Equal(want) {
+		t.Errorf("Shift = %v, want %v", got, want)
+	}
+	if got.Card() != a.Card() {
+		t.Error("Shift should preserve cardinality")
+	}
+}
+
+func TestElementsOrderAndEarlyStop(t *testing.T) {
+	s := FromRuns(Run{3, 5}, Run{8, 10})
+	var got []int64
+	s.Elements(func(e int64) bool {
+		got = append(got, e)
+		return true
+	})
+	want := []int64{3, 4, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Elements = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("element %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	var n int
+	s.Elements(func(int64) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop after %d, want 2", n)
+	}
+}
+
+func TestFromSliceDuplicates(t *testing.T) {
+	s := FromSlice([]int64{5, 3, 3, 4, 5, 10})
+	if s.Card() != 4 {
+		t.Errorf("Card = %d, want 4", s.Card())
+	}
+	want := FromRuns(Run{3, 6}, Run{10, 11})
+	if !s.Equal(want) {
+		t.Errorf("FromSlice = %v, want %v", s, want)
+	}
+}
+
+// randomSet builds a set and a reference map model from the same pseudo-
+// random choices, used to cross-check set algebra against map algebra.
+func randomSet(r *rand.Rand) (*Set, map[int64]bool) {
+	b := NewBuilder()
+	m := make(map[int64]bool)
+	for n := r.Intn(8); n > 0; n-- {
+		lo := int64(r.Intn(200) - 100)
+		length := int64(r.Intn(30))
+		b.AddRange(lo, lo+length)
+		for e := lo; e < lo+length; e++ {
+			m[e] = true
+		}
+	}
+	return b.Build(), m
+}
+
+func TestQuickSetAlgebraMatchesMapModel(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		sa, ma := randomSet(r)
+		sb, mb := randomSet(r)
+
+		inter := sa.Intersect(sb)
+		union := sa.Union(sb)
+		diff := sa.Subtract(sb)
+
+		check := func(name string, got *Set, pred func(e int64) bool) {
+			lo, hi := int64(-110), int64(140)
+			for e := lo; e < hi; e++ {
+				want := pred(e)
+				if got.Contains(e) != want {
+					t.Fatalf("trial %d %s: Contains(%d) = %v, want %v (a=%v b=%v)",
+						trial, name, e, got.Contains(e), want, sa, sb)
+				}
+			}
+		}
+		check("intersect", inter, func(e int64) bool { return ma[e] && mb[e] })
+		check("union", union, func(e int64) bool { return ma[e] || mb[e] })
+		check("subtract", diff, func(e int64) bool { return ma[e] && !mb[e] })
+
+		if inter.Card() != sa.IntersectCard(sb) {
+			t.Fatalf("trial %d: IntersectCard = %d, Intersect.Card = %d",
+				trial, sa.IntersectCard(sb), inter.Card())
+		}
+		// Inclusion-exclusion.
+		if union.Card() != sa.Card()+sb.Card()-inter.Card() {
+			t.Fatalf("trial %d: |A∪B| = %d, want |A|+|B|-|A∩B| = %d",
+				trial, union.Card(), sa.Card()+sb.Card()-inter.Card())
+		}
+	}
+}
+
+func TestQuickNormalization(t *testing.T) {
+	// Property: any set built from runs has sorted, disjoint, non-adjacent runs.
+	f := func(rawLos []int16, rawLens []uint8) bool {
+		b := NewBuilder()
+		for i, lo := range rawLos {
+			length := int64(0)
+			if i < len(rawLens) {
+				length = int64(rawLens[i] % 20)
+			}
+			b.AddRange(int64(lo), int64(lo)+length)
+		}
+		s := b.Build()
+		runs := s.Runs()
+		for i, r := range runs {
+			if r.Hi <= r.Lo {
+				return false
+			}
+			if i > 0 && runs[i-1].Hi >= r.Lo {
+				return false // overlapping or adjacent runs survived
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectCommutes(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		a, _ := randomSet(r)
+		b, _ := randomSet(r)
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			t.Fatalf("trial %d: intersection not commutative: %v vs %v", trial, a, b)
+		}
+		if a.IntersectCard(b) != b.IntersectCard(a) {
+			t.Fatalf("trial %d: IntersectCard not symmetric", trial)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package eset
+
+import "testing"
+
+// FuzzSetAlgebra feeds arbitrary byte strings interpreted as interval
+// endpoints into the set builder and checks algebraic invariants that
+// must hold for any input.
+func FuzzSetAlgebra(f *testing.F) {
+	f.Add([]byte{1, 5, 3, 9}, []byte{2, 7})
+	f.Add([]byte{}, []byte{0, 0, 0, 0})
+	f.Add([]byte{255, 1}, []byte{128, 128, 64})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		build := func(raw []byte) *Set {
+			b := NewBuilder()
+			for i := 0; i+1 < len(raw); i += 2 {
+				lo := int64(raw[i])
+				b.AddRange(lo, lo+int64(raw[i+1]%32))
+			}
+			return b.Build()
+		}
+		a, bset := build(rawA), build(rawB)
+
+		inter := a.Intersect(bset)
+		union := a.Union(bset)
+		diff := a.Subtract(bset)
+
+		// Normalization: runs sorted, disjoint, non-adjacent, non-empty.
+		for _, s := range []*Set{a, bset, inter, union, diff} {
+			runs := s.Runs()
+			for i, r := range runs {
+				if r.Hi <= r.Lo {
+					t.Fatalf("empty run %v", r)
+				}
+				if i > 0 && runs[i-1].Hi >= r.Lo {
+					t.Fatalf("overlapping/adjacent runs %v %v", runs[i-1], r)
+				}
+			}
+		}
+		// Cardinality identities.
+		if union.Card() != a.Card()+bset.Card()-inter.Card() {
+			t.Fatalf("inclusion-exclusion violated")
+		}
+		if diff.Card() != a.Card()-inter.Card() {
+			t.Fatalf("difference cardinality violated")
+		}
+		if inter.Card() != a.IntersectCard(bset) {
+			t.Fatalf("IntersectCard mismatch")
+		}
+		// Membership spot checks.
+		for e := int64(0); e < 300; e += 7 {
+			inA, inB := a.Contains(e), bset.Contains(e)
+			if inter.Contains(e) != (inA && inB) {
+				t.Fatalf("intersect membership at %d", e)
+			}
+			if union.Contains(e) != (inA || inB) {
+				t.Fatalf("union membership at %d", e)
+			}
+			if diff.Contains(e) != (inA && !inB) {
+				t.Fatalf("difference membership at %d", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package experiment is the harness that regenerates every table and
+// figure of the paper's evaluation (Section 4): the isolated execution
+// times of Figure 6, the concurrent workloads of Figure 7, and the
+// parameter-sensitivity sweeps behind the claim that the savings are
+// "consistent across several simulation parameters".
+//
+// Absolute times differ from the paper (the original benchmarks are
+// proprietary and were run under Simics on full datasets; ours are scaled
+// synthetic equivalents), but the comparative shape — which policy wins,
+// by roughly what factor, and how the LS↔LSM gap grows with workload
+// pressure — is the reproduction target. See EXPERIMENTS.md.
+package experiment
+
+import (
+	"fmt"
+
+	"locsched/internal/layout"
+	"locsched/internal/mpsoc"
+	"locsched/internal/prog"
+	"locsched/internal/sched"
+	"locsched/internal/sharing"
+	"locsched/internal/taskgraph"
+	"locsched/internal/workload"
+)
+
+// Policy names a scheduling strategy under test.
+type Policy string
+
+// The four strategies of the paper plus the two future-work baselines.
+const (
+	RS  Policy = "RS"
+	RRS Policy = "RRS"
+	LS  Policy = "LS"
+	LSM Policy = "LSM"
+	SJF Policy = "SJF"
+	CPL Policy = "CPL"
+)
+
+// Policies returns the paper's four strategies in presentation order.
+func Policies() []Policy { return []Policy{RS, RRS, LS, LSM} }
+
+// ExtendedPolicies additionally includes the future-work baselines.
+func ExtendedPolicies() []Policy { return []Policy{RS, RRS, SJF, CPL, LS, LSM} }
+
+// Config bundles everything a run needs.
+type Config struct {
+	Machine  mpsoc.Config
+	Workload workload.Params
+	Quantum  int64 // RRS time slice in cycles
+	Seed     int64 // RS randomization seed
+	Align    int64 // base layout packing alignment in bytes
+}
+
+// DefaultConfig uses the paper's Table 2 machine, workload scale 2, a
+// quantum scaled to our process lengths, and block-size alignment.
+func DefaultConfig() Config {
+	m := mpsoc.DefaultConfig()
+	return Config{
+		Machine:  m,
+		Workload: workload.Params{Scale: 2},
+		Quantum:  2048,
+		Seed:     1,
+		Align:    m.Cache.BlockSize,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	if c.Quantum <= 0 {
+		return fmt.Errorf("experiment: quantum %d must be positive", c.Quantum)
+	}
+	if c.Align <= 0 {
+		return fmt.Errorf("experiment: alignment %d must be positive", c.Align)
+	}
+	return nil
+}
+
+// RunResult is one cell of an evaluation table.
+type RunResult struct {
+	Workload    string
+	Policy      Policy
+	Cycles      int64
+	Seconds     float64
+	Hits        int64
+	Misses      int64
+	Conflicts   int64
+	Preemptions int64
+	Relaid      int // arrays moved by the LSM mapping phase
+	// TimelineText is a rendered per-core Gantt chart, populated when
+	// Config.Machine.RecordTimeline is set.
+	TimelineText string
+}
+
+// MissRate returns misses / accesses.
+func (r *RunResult) MissRate() float64 {
+	total := r.Hits + r.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(total)
+}
+
+// RunGraph simulates one EPG under one policy.
+func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Policy, cfg Config) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	base, err := layout.Pack(cfg.Align, arrays...)
+	if err != nil {
+		return nil, err
+	}
+	am := layout.AddressMap(base)
+	var disp mpsoc.Dispatcher
+	relaid := 0
+
+	switch policy {
+	case RS:
+		disp = sched.NewRandom(cfg.Seed)
+	case RRS:
+		d, err := sched.NewRoundRobin(cfg.Quantum)
+		if err != nil {
+			return nil, err
+		}
+		disp = d
+	case SJF:
+		d, err := sched.NewSJF(g)
+		if err != nil {
+			return nil, err
+		}
+		disp = d
+	case CPL:
+		d, err := sched.NewCriticalPath(g)
+		if err != nil {
+			return nil, err
+		}
+		disp = d
+	case LS:
+		m, err := sharing.ComputeMatrix(g)
+		if err != nil {
+			return nil, err
+		}
+		d, _, err := sched.NewLS(g, m, cfg.Machine.Cores)
+		if err != nil {
+			return nil, err
+		}
+		disp = d
+	case LSM:
+		m, err := sharing.ComputeMatrix(g)
+		if err != nil {
+			return nil, err
+		}
+		d, mapping, err := sched.NewLSM(g, m, cfg.Machine.Cores, base, cfg.Machine.Cache, nil)
+		if err != nil {
+			return nil, err
+		}
+		disp = d
+		am = mapping.Layout
+		relaid = len(mapping.Banks)
+	default:
+		return nil, fmt.Errorf("experiment: unknown policy %q", policy)
+	}
+
+	res, err := mpsoc.Run(g, disp, am, cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{
+		Workload:    name,
+		Policy:      policy,
+		Cycles:      res.Cycles,
+		Seconds:     res.Seconds,
+		Hits:        res.Total.Hits,
+		Misses:      res.Total.Misses(),
+		Conflicts:   res.Total.Conflict,
+		Preemptions: res.Preemptions,
+		Relaid:      relaid,
+	}
+	if cfg.Machine.RecordTimeline {
+		out.TimelineText = res.FormatTimeline(96)
+	}
+	return out, nil
+}
+
+// RunApp simulates a single application in isolation (Figure 6 cells).
+func RunApp(app *workload.App, policy Policy, cfg Config) (*RunResult, error) {
+	return RunGraph(app.Name, app.Graph, app.Arrays, policy, cfg)
+}
+
+// RunMix simulates several applications concurrently (Figure 7 cells).
+func RunMix(apps []*workload.App, policy Policy, cfg Config) (*RunResult, error) {
+	epg, arrays, err := workload.Combine(apps...)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("|T|=%d", len(apps))
+	return RunGraph(name, epg, arrays, policy, cfg)
+}

@@ -1,0 +1,340 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"locsched/internal/workload"
+)
+
+// The tests in this file assert the *shape* of the paper's results
+// (Section 4), not absolute numbers: which policy wins, and how the
+// LS↔LSM gap behaves. They run the full harness at the default scale.
+
+func fig6(t *testing.T) *Table {
+	t.Helper()
+	tab, err := Figure6(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	return tab
+}
+
+func fig7(t *testing.T) *Table {
+	t.Helper()
+	tab, err := Figure7(DefaultConfig(), nil)
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
+	return tab
+}
+
+// TestFigure6Shape: in isolation, the locality-aware schedulers beat both
+// baselines on every application, and LSM is never worse than LS (the
+// paper: "our locality-aware scheduling strategy generates much better
+// results than both RS and RRS"; "the difference between LS and LSM is
+// not too great").
+func TestFigure6Shape(t *testing.T) {
+	tab := fig6(t)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Figure 6 has %d rows, want 6", len(tab.Rows))
+	}
+	const tolerance = 1.03 // allow 3% noise on per-app comparisons
+	for _, row := range tab.Rows {
+		rs := row.Results[RS].Seconds
+		rrs := row.Results[RRS].Seconds
+		ls := row.Results[LS].Seconds
+		lsm := row.Results[LSM].Seconds
+		if ls > rs*tolerance {
+			t.Errorf("%s: LS %.4fms should not lose to RS %.4fms", row.Label, ls*1e3, rs*1e3)
+		}
+		if ls > rrs*tolerance {
+			t.Errorf("%s: LS %.4fms should not lose to RRS %.4fms", row.Label, ls*1e3, rrs*1e3)
+		}
+		if lsm > ls*1.01 {
+			t.Errorf("%s: LSM %.4fms must not be worse than LS %.4fms", row.Label, lsm*1e3, ls*1e3)
+		}
+		if row.Results[LSM].Conflicts > row.Results[LS].Conflicts {
+			t.Errorf("%s: LSM conflicts %d exceed LS's %d", row.Label,
+				row.Results[LSM].Conflicts, row.Results[LS].Conflicts)
+		}
+	}
+	// Aggregate: LS must save meaningfully over RS across the suite.
+	var rsTotal, lsTotal float64
+	for _, row := range tab.Rows {
+		rsTotal += row.Results[RS].Seconds
+		lsTotal += row.Results[LS].Seconds
+	}
+	if lsTotal > 0.92*rsTotal {
+		t.Errorf("LS saves only %.1f%% over RS across the suite, want > 8%%",
+			(1-lsTotal/rsTotal)*100)
+	}
+}
+
+// TestFigure6MissRates: LS's wins come from cache behaviour — its miss
+// rate must be at or below RS's on every application.
+func TestFigure6MissRates(t *testing.T) {
+	tab := fig6(t)
+	for _, row := range tab.Rows {
+		if row.Results[LS].MissRate() > row.Results[RS].MissRate()*1.15 {
+			t.Errorf("%s: LS miss rate %.1f%% should not exceed RS's %.1f%%",
+				row.Label, row.Results[LS].MissRate()*100, row.Results[RS].MissRate()*100)
+		}
+	}
+}
+
+// TestFigure7Shape: concurrently, LSM beats both baselines at every
+// pressure level, and the LS↔LSM gap widens as tasks are added (the
+// paper's "most striking difference": conflict misses across
+// applications, which LSM eliminates but LS cannot).
+func TestFigure7Shape(t *testing.T) {
+	tab := fig7(t)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("Figure 7 has %d rows, want 6", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		rs := row.Results[RS].Seconds
+		rrs := row.Results[RRS].Seconds
+		lsm := row.Results[LSM].Seconds
+		if lsm > rs*1.01 {
+			t.Errorf("%s: LSM %.4fms should beat RS %.4fms", row.Label, lsm*1e3, rs*1e3)
+		}
+		if lsm > rrs*1.01 {
+			t.Errorf("%s: LSM %.4fms should beat RRS %.4fms", row.Label, lsm*1e3, rrs*1e3)
+		}
+	}
+	// Execution time grows with |T|.
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i].Results[RS].Seconds < tab.Rows[i-1].Results[RS].Seconds {
+			t.Errorf("RS time should grow with |T|: %s < %s",
+				tab.Rows[i].Label, tab.Rows[i-1].Label)
+		}
+	}
+	// The LS↔LSM gap widens under pressure: relative gap at the two
+	// heaviest mixes must exceed the gap at the two lightest
+	// multiprogrammed mixes.
+	gap := func(row Row) float64 {
+		ls := row.Results[LS].Seconds
+		lsm := row.Results[LSM].Seconds
+		if ls == 0 {
+			return 0
+		}
+		return (ls - lsm) / ls
+	}
+	light := gap(tab.Rows[1]) + gap(tab.Rows[2])
+	heavy := gap(tab.Rows[4]) + gap(tab.Rows[5])
+	if heavy <= light {
+		t.Errorf("LS↔LSM gap should widen with |T|: light %.3f vs heavy %.3f", light, heavy)
+	}
+	// And LSM removes nearly all conflict misses at the heaviest mixes.
+	for _, i := range []int{4, 5} {
+		lsC := tab.Rows[i].Results[LS].Conflicts
+		lsmC := tab.Rows[i].Results[LSM].Conflicts
+		if lsC > 0 && lsmC*5 > lsC {
+			t.Errorf("%s: LSM conflicts %d should be far below LS's %d",
+				tab.Rows[i].Label, lsmC, lsC)
+		}
+	}
+}
+
+func TestRunResultFields(t *testing.T) {
+	cfg := DefaultConfig()
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RunApp(apps[0], LSM, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "Med-Im04" || r.Policy != LSM {
+		t.Errorf("identity fields wrong: %+v", r)
+	}
+	if r.Cycles <= 0 || r.Seconds <= 0 {
+		t.Errorf("time fields wrong: %+v", r)
+	}
+	if r.Hits+r.Misses == 0 {
+		t.Error("no accesses recorded")
+	}
+	if mr := r.MissRate(); mr <= 0 || mr >= 1 {
+		t.Errorf("MissRate = %f", mr)
+	}
+	if (&RunResult{}).MissRate() != 0 {
+		t.Error("empty MissRate should be 0")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Policies() {
+		a, err := RunApp(apps[1], p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps2, err := workload.BuildAll(cfg.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunApp(apps2[1], p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cycles != b.Cycles {
+			t.Errorf("%s: runs differ: %d vs %d cycles", p, a.Cycles, b.Cycles)
+		}
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	cfg := DefaultConfig()
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunApp(apps[0], Policy("bogus"), cfg); err == nil {
+		t.Error("unknown policy should fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Quantum = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero quantum should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Align = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero alignment should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Machine.Cores = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid machine should fail")
+	}
+}
+
+func TestExtendedPolicies(t *testing.T) {
+	cfg := DefaultConfig()
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ExtendedPolicies() {
+		r, err := RunApp(apps[3], p, cfg) // Shape: smallest, fastest
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if r.Cycles <= 0 {
+			t.Errorf("%s: no cycles", p)
+		}
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1 // keep the sweep quick
+	pols := []Policy{RS, LS, LSM}
+
+	s, err := SweepCacheSize(cfg, []int64{4 * 1024, 8 * 1024, 16 * 1024}, pols)
+	if err != nil {
+		t.Fatalf("SweepCacheSize: %v", err)
+	}
+	if len(s.Points) != 3 {
+		t.Fatalf("sweep has %d points, want 3", len(s.Points))
+	}
+	// Bigger caches must not slow RS down.
+	if s.Points[2].Results[RS].Seconds > s.Points[0].Results[RS].Seconds*1.02 {
+		t.Error("16KB cache should not be slower than 4KB for RS")
+	}
+	// LS keeps its edge at every size (the paper's consistency claim).
+	for _, pt := range s.Points {
+		if pt.Results[LS].Seconds > pt.Results[RS].Seconds*1.05 {
+			t.Errorf("%s: LS %.4f should stay within 5%% of RS %.4f",
+				pt.Label, pt.Results[LS].Seconds, pt.Results[RS].Seconds)
+		}
+	}
+
+	a, err := SweepAssociativity(cfg, []int{1, 2, 4}, pols)
+	if err != nil {
+		t.Fatalf("SweepAssociativity: %v", err)
+	}
+	if len(a.Points) != 3 {
+		t.Error("associativity sweep incomplete")
+	}
+
+	c, err := SweepCores(cfg, []int{4, 8}, pols)
+	if err != nil {
+		t.Fatalf("SweepCores: %v", err)
+	}
+	// More cores should not hurt the concurrent mix under LS.
+	if c.Points[1].Results[LS].Seconds > c.Points[0].Results[LS].Seconds*1.02 {
+		t.Error("8 cores should not be slower than 4 for LS")
+	}
+
+	q, err := SweepQuantum(cfg, []int64{512, 2048, 8192})
+	if err != nil {
+		t.Fatalf("SweepQuantum: %v", err)
+	}
+	if len(q.Points) != 3 {
+		t.Error("quantum sweep incomplete")
+	}
+
+	p, err := SweepMissPenalty(cfg, []int64{25, 75, 150}, pols)
+	if err != nil {
+		t.Fatalf("SweepMissPenalty: %v", err)
+	}
+	// Higher miss penalties must slow RS down.
+	if p.Points[2].Results[RS].Seconds <= p.Points[0].Results[RS].Seconds {
+		t.Error("a higher miss penalty should increase RS time")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+	tab, err := Figure6(cfg, []Policy{RS, LS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable(tab)
+	for _, want := range []string{"Figure 6", "RS", "LS", "Med-Im04", "Usonic"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTable missing %q:\n%s", want, out)
+		}
+	}
+	mr := FormatTableMissRates(tab)
+	if !strings.Contains(mr, "%") {
+		t.Error("miss-rate table should contain percentages")
+	}
+
+	sweep, err := SweepCores(cfg, []int{2}, []Policy{RS, LS, LSM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := FormatSweep(sweep)
+	if !strings.Contains(so, "LS saves") {
+		t.Errorf("FormatSweep missing savings annotation:\n%s", so)
+	}
+
+	t1, err := FormatTable1(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Med-Im04", "medical image reconstruction", "37"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+
+	t2 := FormatTable2(cfg)
+	for _, want := range []string{"8", "2 cycles", "75 cycles", "200 MHz"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+}

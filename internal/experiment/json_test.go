@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+	tab, err := Figure6(cfg, []Policy{RS, LS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tab); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded struct {
+		Title string `json:"title"`
+		Cells []struct {
+			Workload string  `json:"workload"`
+			Policy   string  `json:"policy"`
+			Cycles   int64   `json:"cycles"`
+			Millis   float64 `json:"millis"`
+			MissRate float64 `json:"miss_rate"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if decoded.Title == "" {
+		t.Error("missing title")
+	}
+	if len(decoded.Cells) != 12 { // 6 apps × 2 policies
+		t.Fatalf("got %d cells, want 12", len(decoded.Cells))
+	}
+	for _, c := range decoded.Cells {
+		if c.Cycles <= 0 || c.Millis <= 0 {
+			t.Errorf("cell %s/%s has no time", c.Workload, c.Policy)
+		}
+		if c.MissRate <= 0 || c.MissRate >= 1 {
+			t.Errorf("cell %s/%s has implausible miss rate %f", c.Workload, c.Policy, c.MissRate)
+		}
+	}
+}

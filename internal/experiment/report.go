@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"locsched/internal/workload"
+)
+
+// FormatTable renders a figure table with execution times in
+// milliseconds (the paper reports seconds; our workloads are scaled-down
+// synthetic equivalents, so milliseconds at the same 200 MHz clock).
+func FormatTable(t *Table) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, t.Title)
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, p := range t.Policies {
+		fmt.Fprintf(&b, "%12s", string(p))
+	}
+	fmt.Fprintln(&b, "   (execution time, ms)")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-12s", row.Label)
+		for _, p := range t.Policies {
+			r := row.Results[p]
+			if r == nil {
+				fmt.Fprintf(&b, "%12s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%12.3f", r.Seconds*1e3)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatTableMissRates renders miss-rate and conflict-miss columns for a
+// table, the mechanism behind the headline times.
+func FormatTableMissRates(t *Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — miss rates (conflict misses)\n", t.Title)
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, p := range t.Policies {
+		fmt.Fprintf(&b, "%20s", string(p))
+	}
+	fmt.Fprintln(&b)
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-12s", row.Label)
+		for _, p := range t.Policies {
+			r := row.Results[p]
+			if r == nil {
+				fmt.Fprintf(&b, "%20s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, "%13.1f%% (%4d)", r.MissRate()*100, r.Conflicts)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatSweep renders a sensitivity sweep with per-point improvement of
+// LS and LSM over the first policy in each point (usually RS).
+func FormatSweep(s *Sweep) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, s.Title)
+	for _, pt := range s.Points {
+		fmt.Fprintf(&b, "%-14s", pt.Label)
+		var baseline *RunResult
+		n := 0
+		for _, p := range []Policy{RS, RRS, SJF, CPL, LS, LSM} {
+			if r, ok := pt.Results[p]; ok {
+				if baseline == nil {
+					baseline = r
+				}
+				n++
+				fmt.Fprintf(&b, "  %s=%.3fms (%.1f%% miss, %d conflicts)",
+					p, r.Seconds*1e3, r.MissRate()*100, r.Conflicts)
+			}
+		}
+		if baseline != nil && n > 1 {
+			if ls, ok := pt.Results[LS]; ok && baseline.Seconds > 0 && ls != baseline {
+				fmt.Fprintf(&b, "  [LS saves %.1f%%]", (1-ls.Seconds/baseline.Seconds)*100)
+			}
+			if lsm, ok := pt.Results[LSM]; ok && baseline.Seconds > 0 && lsm != baseline {
+				fmt.Fprintf(&b, "  [LSM saves %.1f%%]", (1-lsm.Seconds/baseline.Seconds)*100)
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// FormatTable1 renders the paper's Table 1 (application suite) with our
+// realized process counts.
+func FormatTable1(p workload.Params) (string, error) {
+	apps, err := workload.BuildAll(p)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 1: applications used in this study")
+	fmt.Fprintf(&b, "%-10s %-42s %6s %10s\n", "Task", "Description", "Procs", "Footprint")
+	for _, a := range apps {
+		fmt.Fprintf(&b, "%-10s %-42s %6d %9dB\n", a.Name, a.Desc, a.Procs(), a.FootprintBytes())
+	}
+	return b.String(), nil
+}
+
+// FormatTable2 renders the paper's Table 2 (default simulation
+// parameters) from a machine configuration.
+func FormatTable2(cfg Config) string {
+	m := cfg.Machine
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 2: default simulation parameters")
+	fmt.Fprintf(&b, "%-40s %v\n", "Number of processors", m.Cores)
+	fmt.Fprintf(&b, "%-40s %s\n", "Data cache per processor", m.Cache)
+	fmt.Fprintf(&b, "%-40s %d cycles\n", "Cache access latency", m.HitLatency)
+	fmt.Fprintf(&b, "%-40s %d cycles\n", "Off-chip memory access latency", m.MissPenalty)
+	fmt.Fprintf(&b, "%-40s %d MHz\n", "Processor speed", m.ClockMHz)
+	return b.String()
+}

@@ -1,0 +1,257 @@
+package mpsoc
+
+import (
+	"fmt"
+	"sort"
+
+	"locsched/internal/cache"
+	"locsched/internal/layout"
+	"locsched/internal/sim"
+	"locsched/internal/taskgraph"
+	"locsched/internal/trace"
+)
+
+// Dispatcher is the scheduling policy contract. The engine owns readiness
+// tracking (dependences) and calls the dispatcher to choose work:
+//
+//   - Ready(id) announces a process whose predecessors have all completed.
+//   - Pick(core, now) asks for the next process to run on a free core; a
+//     zero quantum means run to completion. ok=false idles the core until
+//     another process completes.
+//   - Preempted(id) hands back a process whose quantum expired.
+//
+// Dispatchers must be deterministic given their seed.
+type Dispatcher interface {
+	Name() string
+	Ready(id taskgraph.ProcID)
+	Pick(core int, now int64) (id taskgraph.ProcID, quantum int64, ok bool)
+	Preempted(id taskgraph.ProcID)
+}
+
+// CoreStats aggregates one core's activity.
+type CoreStats struct {
+	BusyCycles int64
+	Segments   int64 // dispatched segments (≥ processes completed on core)
+	Procs      int64 // processes completed on this core
+	Cache      cache.Stats
+}
+
+// Segment is one contiguous execution of a process on a core, recorded
+// when Config.RecordTimeline is set.
+type Segment struct {
+	Core      int
+	Proc      taskgraph.ProcID
+	Start     int64
+	End       int64
+	Completed bool
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Policy      string
+	Cycles      int64   // makespan in cycles
+	Seconds     float64 // makespan at the configured clock
+	PerCore     []CoreStats
+	Total       cache.Stats                // all cores combined
+	Completion  map[taskgraph.ProcID]int64 // per-process completion cycle
+	Preemptions int64
+	IdleCycles  int64     // Σ cores (makespan − busy)
+	Timeline    []Segment // populated when Config.RecordTimeline is set
+}
+
+type evKind int
+
+const (
+	evFree evKind = iota // core became free: try to dispatch
+	evDone               // segment finished: bookkeeping, then core free
+)
+
+type event struct {
+	kind      evKind
+	core      int
+	id        taskgraph.ProcID
+	completed bool // for evDone: process ran to completion
+}
+
+// Run simulates the EPG under the dispatcher on the configured machine,
+// with array addresses taken from the address map.
+func Run(g *taskgraph.Graph, d Dispatcher, am layout.AddressMap, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if g.Len() == 0 {
+		return nil, fmt.Errorf("mpsoc: empty process graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	gen := trace.NewGenerator(am)
+	cursors := make(map[taskgraph.ProcID]*trace.Cursor, g.Len())
+	for _, p := range g.Processes() {
+		cur, err := gen.NewCursor(p.Spec)
+		if err != nil {
+			return nil, err
+		}
+		cursors[p.ID] = cur
+	}
+
+	caches := make([]*cache.Cache, cfg.Cores)
+	for i := range caches {
+		opts := []cache.Option{
+			cache.WithReplacement(cfg.Replacement),
+			cache.WithIndexing(cfg.Indexing),
+			cache.WithWritePolicy(cfg.WritePolicy),
+			cache.WithSeed(cfg.Seed + int64(i)),
+		}
+		if cfg.Classify {
+			opts = append(opts, cache.WithClassification())
+		}
+		c, err := cache.New(cfg.Cache, opts...)
+		if err != nil {
+			return nil, err
+		}
+		caches[i] = c
+	}
+
+	pendingPreds := make(map[taskgraph.ProcID]int, g.Len())
+	for _, id := range g.ProcIDs() {
+		pendingPreds[id] = len(g.Preds(id))
+	}
+	for _, id := range g.Roots() {
+		d.Ready(id)
+	}
+
+	res := &Result{
+		Policy:     d.Name(),
+		PerCore:    make([]CoreStats, cfg.Cores),
+		Completion: make(map[taskgraph.ProcID]int64, g.Len()),
+	}
+
+	events := sim.NewQueue[event]()
+	for c := 0; c < cfg.Cores; c++ {
+		events.Push(0, event{kind: evFree, core: c})
+	}
+	idle := make(map[int]bool)
+	busyCores := 0
+	remaining := g.Len()
+	var makespan int64
+
+	wakeIdle := func(now int64) {
+		if len(idle) == 0 {
+			return
+		}
+		cores := make([]int, 0, len(idle))
+		for c := range idle {
+			cores = append(cores, c)
+		}
+		sort.Ints(cores)
+		for _, c := range cores {
+			delete(idle, c)
+			events.Push(now, event{kind: evFree, core: c})
+		}
+	}
+
+	for remaining > 0 {
+		now, ev, ok := events.Pop()
+		if !ok {
+			return nil, fmt.Errorf("mpsoc: deadlock under policy %s: %d processes never dispatched", d.Name(), remaining)
+		}
+		switch ev.kind {
+		case evDone:
+			busyCores--
+			if ev.completed {
+				res.PerCore[ev.core].Procs++
+				res.Completion[ev.id] = now
+				if now > makespan {
+					makespan = now
+				}
+				remaining--
+				for _, succ := range g.Succs(ev.id) {
+					pendingPreds[succ]--
+					if pendingPreds[succ] == 0 {
+						d.Ready(succ)
+					}
+				}
+			} else {
+				res.Preemptions++
+				d.Preempted(ev.id)
+			}
+			// Newly ready or requeued work may unblock idle cores, and
+			// this core itself is free again.
+			wakeIdle(now)
+			if remaining > 0 {
+				events.Push(now, event{kind: evFree, core: ev.core})
+			}
+
+		case evFree:
+			id, quantum, picked := d.Pick(ev.core, now)
+			if !picked {
+				idle[ev.core] = true
+				continue
+			}
+			cur, exists := cursors[id]
+			if !exists {
+				return nil, fmt.Errorf("mpsoc: policy %s picked unknown process %v", d.Name(), id)
+			}
+			if cur.Done() {
+				return nil, fmt.Errorf("mpsoc: policy %s re-picked completed process %v", d.Name(), id)
+			}
+			penalty := cfg.MissPenalty
+			if cfg.BusFactor > 0 && busyCores > 0 {
+				penalty = int64(float64(cfg.MissPenalty) * (1 + cfg.BusFactor*float64(busyCores)))
+			}
+			busyCores++
+			cycles, completed := runSegment(cur, caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum)
+			st := &res.PerCore[ev.core]
+			st.BusyCycles += cycles
+			st.Segments++
+			if cfg.RecordTimeline {
+				res.Timeline = append(res.Timeline, Segment{
+					Core: ev.core, Proc: id, Start: now, End: now + cycles, Completed: completed,
+				})
+			}
+			events.Push(now+cycles, event{kind: evDone, core: ev.core, id: id, completed: completed})
+		}
+	}
+
+	res.Cycles = makespan
+	res.Seconds = cfg.Seconds(makespan)
+	for i := range caches {
+		res.PerCore[i].Cache = caches[i].Stats()
+		res.Total.Add(res.PerCore[i].Cache)
+		res.IdleCycles += makespan - res.PerCore[i].BusyCycles
+	}
+	return res, nil
+}
+
+// runSegment executes the cursor on the cache until completion or quantum
+// expiry (quantum 0 = no limit) and returns the consumed cycles. At least
+// one access always executes, so preemptive policies make progress even
+// with degenerate quanta.
+func runSegment(cur *trace.Cursor, c *cache.Cache, hitLat, missPenalty, wbPenalty, quantum int64) (cycles int64, completed bool) {
+	compute := cur.Spec().ComputePerIter
+	for {
+		if quantum > 0 && cycles >= quantum {
+			// A stream that ended exactly on the quantum boundary is a
+			// completion, not a preemption.
+			return cycles, cur.Done()
+		}
+		acc, ok := cur.Next()
+		if !ok {
+			return cycles, true
+		}
+		if acc.NewIter {
+			cycles += compute
+		}
+		class, wroteBack := c.AccessRW(acc.Addr, acc.Write)
+		if class == cache.Hit {
+			cycles += hitLat
+		} else {
+			cycles += hitLat + missPenalty
+		}
+		if wroteBack {
+			cycles += wbPenalty
+		}
+	}
+}

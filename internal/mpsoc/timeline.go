@@ -1,0 +1,63 @@
+package mpsoc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatTimeline renders the recorded execution segments as a per-core
+// text Gantt chart of the given width (columns). Each segment prints the
+// process's task/index compressed into its time span; '.' marks idle
+// time. Requires Config.RecordTimeline.
+func (r *Result) FormatTimeline(width int) string {
+	if len(r.Timeline) == 0 {
+		return "(no timeline recorded; set Config.RecordTimeline)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	perCore := make(map[int][]Segment)
+	maxCore := 0
+	for _, s := range r.Timeline {
+		perCore[s.Core] = append(perCore[s.Core], s)
+		if s.Core > maxCore {
+			maxCore = s.Core
+		}
+	}
+	span := r.Cycles
+	if span == 0 {
+		span = 1
+	}
+	col := func(t int64) int {
+		c := int(t * int64(width) / span)
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (%d cycles, %d columns):\n", r.Cycles, width)
+	for core := 0; core <= maxCore; core++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		segs := perCore[core]
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		for _, s := range segs {
+			label := fmt.Sprintf("%d.%d", s.Proc.Task, s.Proc.Idx)
+			lo, hi := col(s.Start), col(s.End)
+			for i := lo; i <= hi && i < width; i++ {
+				k := i - lo
+				if k < len(label) {
+					row[i] = label[k]
+				} else {
+					row[i] = '='
+				}
+			}
+		}
+		fmt.Fprintf(&b, "core %d |%s|\n", core, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+// Package presburger implements the fragment of Presburger arithmetic the
+// paper uses in Section 2 to capture inter-process data sharing: integer
+// sets described by conjunctions of affine constraints over a fixed tuple
+// of variables, and affine maps between such tuple spaces.
+//
+// The paper writes, e.g.,
+//
+//	IS1,k = {[i1,i2]: i1 = k && 0 <= i2 < 3000}
+//	DS1,k = {[d1,d2]: d1 = i1*1000+i2 && d2 = 5 && [i1,i2] in IS1,k}
+//
+// Here IS1,k is a BasicSet over Space("i1","i2") and the data space is the
+// Image of that set under the Map (i1,i2) -> (i1*1000+i2, 5).
+//
+// Sets are manipulated symbolically (intersection is constraint
+// concatenation) and realized by exact bounded enumeration with interval
+// constraint propagation; this is sufficient and exact for the rectangular
+// iteration spaces and affine references of array-intensive embedded codes,
+// without requiring full Presburger quantifier elimination.
+package presburger
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Space names the variables of a set or the input tuple of a map.
+// Spaces are immutable after creation.
+type Space struct {
+	names []string
+}
+
+// NewSpace returns a space with the given variable names.
+// Names must be non-empty and unique.
+func NewSpace(names ...string) (*Space, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("presburger: space needs at least one variable")
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("presburger: empty variable name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("presburger: duplicate variable %q", n)
+		}
+		seen[n] = true
+	}
+	return &Space{names: append([]string(nil), names...)}, nil
+}
+
+// MustSpace is NewSpace that panics on error, for statically known names.
+func MustSpace(names ...string) *Space {
+	s, err := NewSpace(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dim reports the number of variables in the space.
+func (s *Space) Dim() int { return len(s.names) }
+
+// VarName returns the name of variable i.
+func (s *Space) VarName(i int) string { return s.names[i] }
+
+// VarIndex returns the index of the named variable, or -1 if absent.
+func (s *Space) VarIndex(name string) int {
+	for i, n := range s.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports whether two spaces have identical variable lists.
+func (s *Space) Equal(o *Space) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.names) != len(o.names) {
+		return false
+	}
+	for i := range s.names {
+		if s.names[i] != o.names[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Space) String() string {
+	return "[" + strings.Join(s.names, ",") + "]"
+}

@@ -1,0 +1,45 @@
+package prog
+
+import (
+	"locsched/internal/presburger"
+)
+
+// Seg returns the 1-D iteration space {[i] : lo <= i < hi} over a fresh
+// space named after the variable.
+func Seg(varName string, lo, hi int64) *presburger.BasicSet {
+	sp := presburger.MustSpace(varName)
+	return presburger.MustRect(sp, []int64{lo}, []int64{hi})
+}
+
+// Ref1D builds a reference to a rank-1 array with subscript
+// sum(coefs[i]*x_i) + k over the given iteration space.
+func Ref1D(arr *Array, kind AccessKind, space *presburger.Space, coefs []int64, k int64) Ref {
+	e := exprOf(space, coefs, k)
+	return MustRef(arr, presburger.MustMap(space, e), kind)
+}
+
+// Ref2D builds a reference to a rank-2 array with subscripts
+// (sum(c0[i]*x_i)+k0, sum(c1[i]*x_i)+k1) over the given iteration space.
+func Ref2D(arr *Array, kind AccessKind, space *presburger.Space, c0 []int64, k0 int64, c1 []int64, k1 int64) Ref {
+	return MustRef(arr, presburger.MustMap(space, exprOf(space, c0, k0), exprOf(space, c1, k1)), kind)
+}
+
+func exprOf(space *presburger.Space, coefs []int64, k int64) presburger.LinExpr {
+	n := space.Dim()
+	e := presburger.Const(n, k)
+	for i, c := range coefs {
+		if i >= n {
+			break
+		}
+		if c != 0 {
+			e = e.Add(presburger.Term(n, i, c))
+		}
+	}
+	return e
+}
+
+// StreamRef builds the common pattern of the paper's Figure 1: a rank-1
+// iteration space [i] touching a rank-1 array at stride*i + offset.
+func StreamRef(arr *Array, kind AccessKind, iter *presburger.BasicSet, stride, offset int64) Ref {
+	return Ref1D(arr, kind, iter.Space(), []int64{stride}, offset)
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"sort"
+
+	"locsched/internal/taskgraph"
+)
+
+// The paper's future-work list includes comparing LS against further OS
+// scheduling strategies. Two classical baselines are provided here:
+// shortest-job-first and critical-path list scheduling. Neither is
+// locality-aware; both run processes to completion like RS.
+
+// SJF picks the ready process with the fewest memory accesses (our proxy
+// for job length). Ties break to the smallest ID.
+type SJF struct {
+	pool []taskgraph.ProcID
+	cost map[taskgraph.ProcID]int64
+}
+
+// NewSJF builds the dispatcher; job lengths are taken from the graph's
+// process specs (iterations × references).
+func NewSJF(g *taskgraph.Graph) (*SJF, error) {
+	cost := make(map[taskgraph.ProcID]int64, g.Len())
+	for _, p := range g.Processes() {
+		n, err := p.Spec.Accesses()
+		if err != nil {
+			return nil, err
+		}
+		cost[p.ID] = n
+	}
+	return &SJF{cost: cost}, nil
+}
+
+// Name implements mpsoc.Dispatcher.
+func (s *SJF) Name() string { return "SJF" }
+
+// Ready implements mpsoc.Dispatcher.
+func (s *SJF) Ready(id taskgraph.ProcID) { s.pool = insertSorted(s.pool, id) }
+
+// Preempted implements mpsoc.Dispatcher.
+func (s *SJF) Preempted(id taskgraph.ProcID) { s.pool = insertSorted(s.pool, id) }
+
+// Pick implements mpsoc.Dispatcher: shortest ready job, to completion.
+func (s *SJF) Pick(core int, now int64) (taskgraph.ProcID, int64, bool) {
+	if len(s.pool) == 0 {
+		return taskgraph.ProcID{}, 0, false
+	}
+	best := 0
+	for i := 1; i < len(s.pool); i++ {
+		if s.cost[s.pool[i]] < s.cost[s.pool[best]] {
+			best = i
+		}
+	}
+	id := s.pool[best]
+	s.pool = append(s.pool[:best], s.pool[best+1:]...)
+	return id, 0, true
+}
+
+// CriticalPath picks the ready process heading the longest remaining
+// dependence chain (HEFT-style list scheduling without communication
+// costs). Ties break to the smallest ID.
+type CriticalPath struct {
+	pool []taskgraph.ProcID
+	rank map[taskgraph.ProcID]int
+}
+
+// NewCriticalPath builds the dispatcher; ranks are longest path lengths
+// to any sink.
+func NewCriticalPath(g *taskgraph.Graph) (*CriticalPath, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make(map[taskgraph.ProcID]int, len(topo))
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		r := 0
+		for _, s := range g.Succs(id) {
+			if rank[s]+1 > r {
+				r = rank[s] + 1
+			}
+		}
+		rank[id] = r
+	}
+	return &CriticalPath{rank: rank}, nil
+}
+
+// Name implements mpsoc.Dispatcher.
+func (c *CriticalPath) Name() string { return "CPL" }
+
+// Ready implements mpsoc.Dispatcher.
+func (c *CriticalPath) Ready(id taskgraph.ProcID) { c.pool = insertSorted(c.pool, id) }
+
+// Preempted implements mpsoc.Dispatcher.
+func (c *CriticalPath) Preempted(id taskgraph.ProcID) { c.pool = insertSorted(c.pool, id) }
+
+// Pick implements mpsoc.Dispatcher: deepest ready process, to completion.
+func (c *CriticalPath) Pick(core int, now int64) (taskgraph.ProcID, int64, bool) {
+	if len(c.pool) == 0 {
+		return taskgraph.ProcID{}, 0, false
+	}
+	best := 0
+	for i := 1; i < len(c.pool); i++ {
+		if c.rank[c.pool[i]] > c.rank[c.pool[best]] {
+			best = i
+		}
+	}
+	id := c.pool[best]
+	c.pool = append(c.pool[:best], c.pool[best+1:]...)
+	return id, 0, true
+}
+
+// sortPool is a test hook ensuring pools stay sorted.
+func sortPool(ids []taskgraph.ProcID) bool {
+	return sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+}

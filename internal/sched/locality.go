@@ -1,0 +1,315 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"locsched/internal/cache"
+	"locsched/internal/layout"
+	"locsched/internal/prog"
+	"locsched/internal/sharing"
+	"locsched/internal/taskgraph"
+)
+
+// LocalitySchedule runs the greedy heuristic of the paper's Figure 3 over
+// the EPG and its sharing matrix, producing a static per-core order.
+//
+// Initialization: the independent processes (EPG roots) are candidates
+// for the first quantum. While there are more candidates than cores, the
+// candidate with the maximum total sharing with the other candidates is
+// deferred back to the pool — concurrent processes should share little
+// (sharers are more valuable later, as same-core successors). Note the
+// paper's prose ("removes the candidates that have the maximum data
+// sharing") and its pseudocode ("Σ M[p][q] is minimized") disagree; we
+// follow the prose, which matches the stated goal of keeping the sharing
+// between co-runners minimal.
+//
+// Steady state: each core repeatedly appends the ready process that
+// maximizes sharing with the process it ran last. Ties break toward the
+// smallest process ID. Cores are served in order of least accumulated
+// work (estimated from access counts) rather than strict index order;
+// with uniform process sizes this degenerates to the paper's round-robin
+// service, and with heterogeneous sizes it keeps the per-core lists
+// duration-balanced, which the paper's count-balanced rounds implicitly
+// assume. The result is deterministic.
+func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assignment, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("sched: cores %d must be positive", cores)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("sched: nil sharing matrix")
+	}
+
+	cost := make(map[taskgraph.ProcID]int64, g.Len())
+	for _, p := range g.Processes() {
+		acc, err := p.Spec.Accesses()
+		if err != nil {
+			return nil, err
+		}
+		iters, err := p.Spec.Iterations()
+		if err != nil {
+			return nil, err
+		}
+		cost[p.ID] = acc + iters*p.Spec.ComputePerIter
+	}
+
+	// rank = longest remaining dependence chain. The paper's greedy
+	// leaves its tie-breaks unspecified; breaking sharing ties toward the
+	// deepest chain (classic list scheduling) starts critical chains
+	// early instead of by accident of process numbering.
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make(map[taskgraph.ProcID]int, len(topo))
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		r := 0
+		for _, s := range g.Succs(id) {
+			if rank[s]+1 > r {
+				r = rank[s] + 1
+			}
+		}
+		rank[id] = r
+	}
+
+	scheduled := make(map[taskgraph.ProcID]bool, g.Len())
+	inPool := make(map[taskgraph.ProcID]bool, g.Len())
+	for _, id := range g.ProcIDs() {
+		inPool[id] = true
+	}
+
+	// IN: independent processes, candidates for the first quantum.
+	in := g.Roots()
+	for _, id := range in {
+		delete(inPool, id)
+	}
+	for len(in) > cores {
+		// Defer the candidate with maximum total sharing with the others;
+		// ties defer the shallowest remaining chain, keeping chain heads
+		// in the first quantum.
+		victim := -1
+		var worst int64 = -1
+		for i, p := range in {
+			var total int64
+			for j, q := range in {
+				if i != j {
+					total += m.Shared(p, q)
+				}
+			}
+			switch {
+			case total > worst:
+				worst = total
+				victim = i
+			case total == worst && victim >= 0 && rank[p] < rank[in[victim]]:
+				victim = i
+			}
+		}
+		deferred := in[victim]
+		in = append(in[:victim], in[victim+1:]...)
+		inPool[deferred] = true
+	}
+
+	asg := &Assignment{PerCore: make([][]taskgraph.ProcID, cores)}
+	load := make([]int64, cores)
+	for i, id := range in {
+		asg.PerCore[i] = append(asg.PerCore[i], id)
+		load[i] += cost[id]
+		scheduled[id] = true
+	}
+
+	// Main loop: the least-loaded core picks the eligible process with
+	// maximum sharing with its previously scheduled process.
+	remaining := len(inPool)
+	for remaining > 0 {
+		progress := false
+		for _, k := range coresByLoad(load) {
+			q, ok := pickNext(g, m, rank, asg.PerCore[k], inPool, scheduled)
+			if !ok {
+				continue
+			}
+			asg.PerCore[k] = append(asg.PerCore[k], q)
+			load[k] += cost[q]
+			scheduled[q] = true
+			delete(inPool, q)
+			remaining--
+			progress = true
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("sched: no eligible process among %d remaining (graph inconsistent?)", remaining)
+		}
+	}
+	return asg, nil
+}
+
+// coresByLoad returns core indices ordered by ascending accumulated load,
+// ties toward the lower index.
+func coresByLoad(load []int64) []int {
+	idx := make([]int, len(load))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if load[idx[a]] != load[idx[b]] {
+			return load[idx[a]] < load[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// pickNext selects the unscheduled process all of whose predecessors are
+// scheduled, maximizing sharing with the core's last process. Sharing
+// ties break toward the deepest remaining chain, then the smallest ID.
+func pickNext(g *taskgraph.Graph, m *sharing.Matrix, rank map[taskgraph.ProcID]int,
+	coreList []taskgraph.ProcID, pool map[taskgraph.ProcID]bool,
+	scheduled map[taskgraph.ProcID]bool) (taskgraph.ProcID, bool) {
+
+	var prev taskgraph.ProcID
+	hasPrev := len(coreList) > 0
+	if hasPrev {
+		prev = coreList[len(coreList)-1]
+	}
+	best := taskgraph.ProcID{}
+	var bestShare int64 = -1
+	bestRank := -1
+	found := false
+	for _, q := range sortedIDs(pool) {
+		eligible := true
+		for _, p := range g.Preds(q) {
+			if !scheduled[p] {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		var share int64
+		if hasPrev {
+			share = m.Shared(prev, q)
+		}
+		if !found || share > bestShare || (share == bestShare && rank[q] > bestRank) {
+			best, bestShare, bestRank, found = q, share, rank[q], true
+		}
+	}
+	return best, found
+}
+
+func sortedIDs(pool map[taskgraph.ProcID]bool) []taskgraph.ProcID {
+	out := make([]taskgraph.ProcID, 0, len(pool))
+	for id := range pool {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// NewLS builds the LS dispatcher: the Figure 3 schedule replayed
+// statically.
+func NewLS(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Static, *Assignment, error) {
+	asg, err := LocalitySchedule(g, m, cores)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewStatic("LS", asg), asg, nil
+}
+
+// MappingResult carries what the LSM pipeline derived beyond the
+// schedule.
+type MappingResult struct {
+	Assignment *Assignment
+	Conflicts  *layout.ConflictMatrix
+	Threshold  int64
+	Banks      map[*prog.Array]int64
+	Layout     *layout.Relayouted
+	// PressureBefore/After record the static thrash pressure of the base
+	// and final layouts; Verified reports whether the mapping achieved a
+	// strict improvement (otherwise Banks is empty and Layout behaves
+	// like the base layout — the mapping phase must never make things
+	// worse).
+	PressureBefore int64
+	PressureAfter  int64
+	Verified       bool
+}
+
+// NewLSM builds the LSM dispatcher: the LS schedule plus the data-mapping
+// phase of Figures 4–5. The conflict matrix is computed over co-access
+// groups — the arrays of each single process, and the merged arrays of
+// each pair of processes scheduled successively on one core — which makes
+// Figure 5's eligibility condition implicit: pairs never co-accessed
+// carry zero weight. The greedy selection then re-lays the heavy pairs
+// out into opposite cache-set banks, and the transformed address map is
+// returned for simulation.
+func NewLSM(g *taskgraph.Graph, m *sharing.Matrix, cores int,
+	base layout.AddressMap, geom cache.Geometry, an *sharing.Analyzer) (*Static, *MappingResult, error) {
+
+	asg, err := LocalitySchedule(g, m, cores)
+	if err != nil {
+		return nil, nil, err
+	}
+	if an == nil {
+		an = sharing.NewAnalyzer()
+	}
+
+	perProc := make(map[taskgraph.ProcID]layout.Footprints, g.Len())
+	for _, p := range g.Processes() {
+		ds, err := an.DataSpace(p.Spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		perProc[p.ID] = layout.Footprints(ds)
+	}
+
+	// Single-process groups: arrays referenced in lockstep, whose set
+	// overflows thrash on every iteration. Successive-pair groups: arrays
+	// of processes adjacent on one core, whose conflicts evict warm data
+	// between the two executions.
+	var procGroups []layout.VerifyGroup
+	var allGroups []layout.Footprints
+	for _, id := range g.ProcIDs() {
+		refs := make(map[*prog.Array]int)
+		for _, r := range g.Process(id).Spec.Refs {
+			refs[r.Array]++
+		}
+		procGroups = append(procGroups, layout.VerifyGroup{FP: perProc[id], Refs: refs})
+		allGroups = append(allGroups, perProc[id])
+	}
+	for _, pair := range asg.SuccessivePairs() {
+		allGroups = append(allGroups, perProc[pair[0]].Merge(perProc[pair[1]]))
+	}
+
+	cm, err := layout.Conflicts(allGroups, base, geom)
+	if err != nil {
+		return nil, nil, err
+	}
+	threshold := cm.AverageThreshold()
+	// Greedy selection with per-step pressure verification (engineering
+	// addition over the paper): a bank assignment is kept only when it
+	// strictly lowers the lockstep thrash pressure of the single-process
+	// groups, guarding against the transform creating conflicts where
+	// none existed.
+	banks, pBefore, pAfter, err := layout.SelectRelayoutVerified(procGroups, cm, base, threshold, geom)
+	if err != nil {
+		return nil, nil, err
+	}
+	rl, err := layout.ApplyRelayout(base, geom, banks)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &MappingResult{
+		Assignment:     asg,
+		Conflicts:      cm,
+		Threshold:      threshold,
+		Banks:          banks,
+		Layout:         rl,
+		PressureBefore: pBefore,
+		PressureAfter:  pAfter,
+		Verified:       pAfter < pBefore,
+	}
+	return NewStatic("LSM", asg), res, nil
+}

@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"locsched/internal/sharing"
+	"locsched/internal/taskgraph"
+)
+
+// MaxOptimalProcs bounds the exact scheduler: the state space is
+// 2^n × (n+1)^cores, so only small instances are tractable.
+const MaxOptimalProcs = 14
+
+// OptimalSchedule computes, by dynamic programming over (scheduled-set,
+// per-core tail/count) states, a dependence-feasible static schedule
+// that maximizes the total data sharing between successively scheduled
+// processes on each core — the objective the paper's Figure 3 greedy
+// approximates. Per-core lists are capped at ⌈n/cores⌉ processes,
+// mirroring the paper's balanced quantum structure (otherwise the
+// maximizer degenerates to serializing everything on one core). It
+// exists to measure the greedy's quality (the paper itself notes the
+// greedy "does not generate the best results in all cases"); it is
+// exponential and limited to MaxOptimalProcs processes.
+func OptimalSchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assignment, int64, error) {
+	if cores <= 0 {
+		return nil, 0, fmt.Errorf("sched: cores %d must be positive", cores)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := g.Len()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("sched: empty graph")
+	}
+	if n > MaxOptimalProcs {
+		return nil, 0, fmt.Errorf("sched: %d processes exceed the exact scheduler's limit of %d", n, MaxOptimalProcs)
+	}
+	if cores > n {
+		cores = n // extra cores can never help the sharing objective
+	}
+
+	ids := g.ProcIDs()
+	index := make(map[taskgraph.ProcID]int, n)
+	for i, id := range ids {
+		index[id] = i
+	}
+	// Predecessor masks for O(1) eligibility.
+	predMask := make([]uint32, n)
+	for i, id := range ids {
+		for _, p := range g.Preds(id) {
+			predMask[i] |= 1 << index[p]
+		}
+	}
+	share := make([][]int64, n+1)
+	for i := range share {
+		share[i] = make([]int64, n)
+	}
+	for i, a := range ids {
+		for j, b := range ids {
+			share[i][j] = m.Shared(a, b)
+		}
+	}
+	// Row n is the virtual "empty core" tail: zero sharing with anything.
+
+	type stateKey struct {
+		scheduled uint32
+		tails     [8]int8 // supports up to 8 cores; sorted for symmetry
+		counts    [8]int8 // per-core lengths, co-sorted with tails
+	}
+	if cores > 8 {
+		cores = 8
+	}
+	cap := (n + cores - 1) / cores // balanced lists, the paper's quanta
+
+	type memoVal struct {
+		best int64
+		// Reconstruction: the process appended next and the tail value it
+		// was appended after. Storing the tail VALUE (not a core index)
+		// keeps the decision valid for every tails ordering that
+		// canonicalizes to this state.
+		proc, tail, count int8
+	}
+	memo := make(map[stateKey]memoVal)
+
+	full := uint32(1<<n) - 1
+
+	canonical := func(tails, counts []int8) ([8]int8, [8]int8) {
+		var ot, oc [8]int8
+		copy(ot[:], tails)
+		copy(oc[:], counts)
+		for i := cores; i < 8; i++ {
+			ot[i] = int8(n) // unused slots marked as empty
+			oc[i] = 0
+		}
+		// Insertion co-sort for symmetry reduction: cores are
+		// interchangeable except for their (tail, count) pairs.
+		for i := 1; i < cores; i++ {
+			for j := i; j > 0 && (ot[j] < ot[j-1] || (ot[j] == ot[j-1] && oc[j] < oc[j-1])); j-- {
+				ot[j], ot[j-1] = ot[j-1], ot[j]
+				oc[j], oc[j-1] = oc[j-1], oc[j]
+			}
+		}
+		return ot, oc
+	}
+
+	var solve func(scheduled uint32, tails, counts []int8) int64
+	solve = func(scheduled uint32, tails, counts []int8) int64 {
+		if scheduled == full {
+			return 0
+		}
+		ct, cc := canonical(tails, counts)
+		key := stateKey{scheduled: scheduled, tails: ct, counts: cc}
+		if v, ok := memo[key]; ok {
+			return v.best
+		}
+		best := int64(math.MinInt64)
+		var bestProc, bestTail, bestCount int8 = -1, -1, -1
+		for q := 0; q < n; q++ {
+			bit := uint32(1) << q
+			if scheduled&bit != 0 || predMask[q]&scheduled != predMask[q] {
+				continue
+			}
+			// Try each distinct (tail, count) pair once (identical pairs
+			// are symmetric).
+			type tc struct{ t, c int8 }
+			tried := make(map[tc]bool, cores)
+			for k := 0; k < cores; k++ {
+				if int(counts[k]) >= cap {
+					continue
+				}
+				pair := tc{tails[k], counts[k]}
+				if tried[pair] {
+					continue
+				}
+				tried[pair] = true
+				gain := int64(0)
+				if int(tails[k]) < n {
+					gain = share[tails[k]][q]
+				}
+				oldT, oldC := tails[k], counts[k]
+				tails[k], counts[k] = int8(q), counts[k]+1
+				v := gain + solve(scheduled|bit, tails, counts)
+				tails[k], counts[k] = oldT, oldC
+				if v > best {
+					best = v
+					bestProc, bestTail, bestCount = int8(q), oldT, oldC
+				}
+			}
+		}
+		memo[key] = memoVal{best: best, proc: bestProc, tail: bestTail, count: bestCount}
+		return best
+	}
+
+	tails := make([]int8, cores)
+	counts := make([]int8, cores)
+	for i := range tails {
+		tails[i] = int8(n) // empty
+	}
+	total := solve(0, tails, counts)
+
+	// Reconstruct by replaying the memoized decisions. The stored tail
+	// VALUE and count identify a core up to symmetry; any matching core
+	// yields an equivalent schedule.
+	asg := &Assignment{PerCore: make([][]taskgraph.ProcID, cores)}
+	scheduled := uint32(0)
+	for i := range tails {
+		tails[i] = int8(n)
+		counts[i] = 0
+	}
+	for scheduled != full {
+		ct, cc := canonical(tails, counts)
+		key := stateKey{scheduled: scheduled, tails: ct, counts: cc}
+		v, ok := memo[key]
+		if !ok || v.proc < 0 {
+			return nil, 0, fmt.Errorf("sched: optimal reconstruction failed")
+		}
+		core := -1
+		for k := 0; k < cores; k++ {
+			if tails[k] == v.tail && counts[k] == v.count {
+				core = k
+				break
+			}
+		}
+		if core < 0 {
+			return nil, 0, fmt.Errorf("sched: optimal reconstruction lost tail %d", v.tail)
+		}
+		asg.PerCore[core] = append(asg.PerCore[core], ids[v.proc])
+		tails[core] = int8(v.proc)
+		counts[core]++
+		scheduled |= 1 << uint32(v.proc)
+	}
+	return asg, total, nil
+}
+
+// SharingOf returns the static objective value of an assignment: the
+// total shared bytes between successively scheduled processes per core.
+func SharingOf(asg *Assignment, m *sharing.Matrix) int64 {
+	var total int64
+	for _, pair := range asg.SuccessivePairs() {
+		total += m.Shared(pair[0], pair[1])
+	}
+	return total
+}

@@ -1,0 +1,242 @@
+// Package sharing computes the paper's inter-process data sharing sets
+// (Section 2): the data space DS_k of process k is the set of array
+// elements it touches (the image of its iteration space under its access
+// maps), and the sharing set between processes k and p is
+// SS_k,p = DS_k ∩ DS_p. The magnitudes |SS_k,p|, weighted by element
+// size, form the sharing matrix of Figure 2(a) that drives the
+// locality-aware scheduler.
+package sharing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"locsched/internal/eset"
+	"locsched/internal/prog"
+	"locsched/internal/taskgraph"
+)
+
+// DataSpace is the concrete footprint of one process: the set of
+// linearized element indices it touches in each array.
+type DataSpace map[*prog.Array]*eset.Set
+
+// FootprintBytes returns the total footprint in bytes across all arrays.
+func (d DataSpace) FootprintBytes() int64 {
+	var n int64
+	for arr, s := range d {
+		n += s.Card() * arr.Elem
+	}
+	return n
+}
+
+// SharedBytes returns the number of bytes this data space shares with o:
+// sum over common arrays of |DS_a ∩ DS'_a| × element size.
+func (d DataSpace) SharedBytes(o DataSpace) int64 {
+	var n int64
+	for arr, s := range d {
+		if os, ok := o[arr]; ok {
+			n += s.IntersectCard(os) * arr.Elem
+		}
+	}
+	return n
+}
+
+// ComputeDataSpace enumerates the process's iteration space once per
+// reference and collects the touched element indices per array.
+func ComputeDataSpace(spec *prog.ProcessSpec) (DataSpace, error) {
+	builders := make(map[*prog.Array]*eset.Builder)
+	idx := make([]int64, 0, 4)
+	for _, ref := range spec.Refs {
+		b, ok := builders[ref.Array]
+		if !ok {
+			b = eset.NewBuilder()
+			builders[ref.Array] = b
+		}
+		arr := ref.Array
+		m := ref.Map
+		err := spec.IterSpace.Points(func(pt []int64) bool {
+			idx = m.Apply(pt, idx)
+			b.Add(arr.LinearIndex(idx))
+			return true
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sharing: process %s: %w", spec.Name, err)
+		}
+	}
+	ds := make(DataSpace, len(builders))
+	for arr, b := range builders {
+		ds[arr] = b.Build()
+	}
+	return ds, nil
+}
+
+// Analyzer memoizes data spaces per process spec so that sharing matrices
+// over large EPGs reuse footprint computations.
+type Analyzer struct {
+	cache map[*prog.ProcessSpec]DataSpace
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{cache: make(map[*prog.ProcessSpec]DataSpace)}
+}
+
+// DataSpace returns the (memoized) data space of the spec.
+func (a *Analyzer) DataSpace(spec *prog.ProcessSpec) (DataSpace, error) {
+	if ds, ok := a.cache[spec]; ok {
+		return ds, nil
+	}
+	ds, err := ComputeDataSpace(spec)
+	if err != nil {
+		return nil, err
+	}
+	a.cache[spec] = ds
+	return ds, nil
+}
+
+// SharingSet returns the concrete sharing set SS between two processes
+// for one array — the set of linearized elements both touch
+// (SS_k,p = DS_k ∩ DS_p restricted to arr, Section 2 of the paper).
+func (a *Analyzer) SharingSet(p, q *prog.ProcessSpec, arr *prog.Array) (*eset.Set, error) {
+	dp, err := a.DataSpace(p)
+	if err != nil {
+		return nil, err
+	}
+	dq, err := a.DataSpace(q)
+	if err != nil {
+		return nil, err
+	}
+	sp, ok := dp[arr]
+	if !ok {
+		return eset.Empty(), nil
+	}
+	sq, ok := dq[arr]
+	if !ok {
+		return eset.Empty(), nil
+	}
+	return sp.Intersect(sq), nil
+}
+
+// Matrix is the sharing matrix M of the paper's Figure 2(a): for processes
+// k and p, M[k][p] is the number of bytes shared between their data
+// spaces. The diagonal holds each process's own footprint in bytes.
+type Matrix struct {
+	ids  []taskgraph.ProcID
+	pos  map[taskgraph.ProcID]int
+	vals [][]int64
+}
+
+// ComputeMatrix builds the sharing matrix for every process in the graph.
+func ComputeMatrix(g *taskgraph.Graph) (*Matrix, error) {
+	return NewAnalyzer().Matrix(g)
+}
+
+// Matrix builds the sharing matrix for every process in the graph, using
+// the analyzer's memoized data spaces.
+func (a *Analyzer) Matrix(g *taskgraph.Graph) (*Matrix, error) {
+	ids := g.ProcIDs()
+	m := &Matrix{
+		ids:  ids,
+		pos:  make(map[taskgraph.ProcID]int, len(ids)),
+		vals: make([][]int64, len(ids)),
+	}
+	spaces := make([]DataSpace, len(ids))
+	for i, id := range ids {
+		m.pos[id] = i
+		ds, err := a.DataSpace(g.Process(id).Spec)
+		if err != nil {
+			return nil, err
+		}
+		spaces[i] = ds
+		m.vals[i] = make([]int64, len(ids))
+	}
+	for i := range ids {
+		m.vals[i][i] = spaces[i].FootprintBytes()
+		for j := i + 1; j < len(ids); j++ {
+			s := spaces[i].SharedBytes(spaces[j])
+			m.vals[i][j] = s
+			m.vals[j][i] = s
+		}
+	}
+	return m, nil
+}
+
+// Len returns the number of processes.
+func (m *Matrix) Len() int { return len(m.ids) }
+
+// IDs returns the process IDs in matrix order.
+func (m *Matrix) IDs() []taskgraph.ProcID {
+	return append([]taskgraph.ProcID(nil), m.ids...)
+}
+
+// Shared returns the shared bytes between two processes; 0 when either is
+// unknown.
+func (m *Matrix) Shared(a, b taskgraph.ProcID) int64 {
+	i, ok := m.pos[a]
+	if !ok {
+		return 0
+	}
+	j, ok := m.pos[b]
+	if !ok {
+		return 0
+	}
+	return m.vals[i][j]
+}
+
+// Footprint returns the process's own footprint in bytes.
+func (m *Matrix) Footprint(a taskgraph.ProcID) int64 { return m.Shared(a, a) }
+
+// TotalSharing returns the sum of shared bytes between a and every process
+// in others (excluding a itself).
+func (m *Matrix) TotalSharing(a taskgraph.ProcID, others []taskgraph.ProcID) int64 {
+	var n int64
+	for _, o := range others {
+		if o != a {
+			n += m.Shared(a, o)
+		}
+	}
+	return n
+}
+
+// MaxSharingPartner returns the process in candidates (excluding a) with
+// maximal sharing with a; ties break to the smallest ID. ok is false when
+// candidates is empty or contains only a.
+func (m *Matrix) MaxSharingPartner(a taskgraph.ProcID, candidates []taskgraph.ProcID) (taskgraph.ProcID, int64, bool) {
+	best := taskgraph.ProcID{}
+	var bestVal int64 = -1
+	found := false
+	sorted := append([]taskgraph.ProcID(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	for _, c := range sorted {
+		if c == a {
+			continue
+		}
+		v := m.Shared(a, c)
+		if !found || v > bestVal {
+			best, bestVal, found = c, v, true
+		}
+	}
+	return best, bestVal, found
+}
+
+// String renders the matrix like the paper's Figure 2(a) table (values in
+// bytes).
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, id := range m.ids {
+		fmt.Fprintf(&b, "%10s", id.String())
+	}
+	b.WriteByte('\n')
+	for i, id := range m.ids {
+		fmt.Fprintf(&b, "%-8s", id.String())
+		for j := range m.ids {
+			fmt.Fprintf(&b, "%10d", m.vals[i][j])
+		}
+		if i < len(m.ids)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+// Package sim provides the discrete-event kernel underneath the MPSoC
+// simulator: a deterministic time-ordered event queue. Events with equal
+// timestamps pop in insertion (FIFO) order, which keeps whole-system runs
+// reproducible bit-for-bit.
+package sim
+
+import "container/heap"
+
+type item[T any] struct {
+	time    int64
+	seq     int64
+	payload T
+}
+
+type itemHeap[T any] []item[T]
+
+func (h itemHeap[T]) Len() int { return len(h) }
+func (h itemHeap[T]) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap[T]) Push(x any)   { *h = append(*h, x.(item[T])) }
+func (h *itemHeap[T]) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a deterministic min-heap of timestamped events.
+type Queue[T any] struct {
+	h   itemHeap[T]
+	seq int64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Push schedules payload at the given time.
+func (q *Queue[T]) Push(time int64, payload T) {
+	q.seq++
+	heap.Push(&q.h, item[T]{time: time, seq: q.seq, payload: payload})
+}
+
+// Pop removes and returns the earliest event. ok is false when empty.
+func (q *Queue[T]) Pop() (time int64, payload T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	it := heap.Pop(&q.h).(item[T])
+	return it.time, it.payload, true
+}
+
+// Peek returns the earliest event without removing it.
+func (q *Queue[T]) Peek() (time int64, payload T, ok bool) {
+	if len(q.h) == 0 {
+		var zero T
+		return 0, zero, false
+	}
+	return q.h[0].time, q.h[0].payload, true
+}
+
+// Len returns the number of pending events.
+func (q *Queue[T]) Len() int { return len(q.h) }

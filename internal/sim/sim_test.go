@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	q := NewQueue[string]()
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Error("Pop of empty queue should report !ok")
+	}
+	if _, _, ok := q.Peek(); ok {
+		t.Error("Peek of empty queue should report !ok")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	q := NewQueue[int]()
+	q.Push(30, 3)
+	q.Push(10, 1)
+	q.Push(20, 2)
+	var got []int
+	for {
+		_, p, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if got[i] != want {
+			t.Errorf("pop %d = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestFIFOForEqualTimes(t *testing.T) {
+	q := NewQueue[int]()
+	for i := 0; i < 10; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 10; i++ {
+		tm, p, ok := q.Pop()
+		if !ok || tm != 5 || p != i {
+			t.Fatalf("pop %d = (%d,%d,%v), want (5,%d,true)", i, tm, p, ok, i)
+		}
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	q := NewQueue[int]()
+	q.Push(1, 42)
+	tm, p, ok := q.Peek()
+	if !ok || tm != 1 || p != 42 {
+		t.Fatalf("Peek = (%d,%d,%v)", tm, p, ok)
+	}
+	if q.Len() != 1 {
+		t.Error("Peek must not remove the event")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	q := NewQueue[int64]()
+	rng := rand.New(rand.NewSource(11))
+	pending := 0
+	for round := 0; round < 1000; round++ {
+		if pending == 0 || rng.Intn(2) == 0 {
+			tm := int64(rng.Intn(100))
+			q.Push(tm, tm)
+			pending++
+		} else {
+			tm, p, ok := q.Pop()
+			if !ok {
+				t.Fatal("unexpected empty queue")
+			}
+			if tm != p {
+				t.Fatalf("payload %d != time %d", p, tm)
+			}
+			pending--
+		}
+	}
+	// Drain: the final drain must come out fully time-sorted.
+	var drained []int64
+	for {
+		_, p, ok := q.Pop()
+		if !ok {
+			break
+		}
+		drained = append(drained, p)
+	}
+	if !sort.SliceIsSorted(drained, func(i, j int) bool { return drained[i] < drained[j] }) {
+		t.Errorf("final drain not sorted: %v", drained)
+	}
+}

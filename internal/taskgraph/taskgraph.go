@@ -1,0 +1,354 @@
+// Package taskgraph implements the paper's process graphs: a PG describes
+// one task's processes and intra-task dependences; an EPG (extended
+// process graph) additionally carries inter-task dependences. An edge
+// P -> Q means Q may start only after P completes (Section 3).
+package taskgraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"locsched/internal/prog"
+)
+
+// ProcID uniquely identifies a process within an EPG: the owning task and
+// the process index within that task.
+type ProcID struct {
+	Task int
+	Idx  int
+}
+
+func (id ProcID) String() string { return fmt.Sprintf("P%d.%d", id.Task, id.Idx) }
+
+// Less orders ProcIDs lexicographically (task, then index); used to keep
+// every traversal of the graph deterministic.
+func (id ProcID) Less(o ProcID) bool {
+	if id.Task != o.Task {
+		return id.Task < o.Task
+	}
+	return id.Idx < o.Idx
+}
+
+// Process is a node of the graph: an identity plus the static program
+// description analysed and executed for it.
+type Process struct {
+	ID   ProcID
+	Spec *prog.ProcessSpec
+}
+
+// Graph is a directed acyclic graph of processes. It serves as both PG
+// (single task) and EPG (several tasks merged). The zero value is not
+// usable; call New.
+type Graph struct {
+	procs map[ProcID]*Process
+	succ  map[ProcID][]ProcID
+	pred  map[ProcID][]ProcID
+	order []ProcID // insertion order, for deterministic iteration
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		procs: make(map[ProcID]*Process),
+		succ:  make(map[ProcID][]ProcID),
+		pred:  make(map[ProcID][]ProcID),
+	}
+}
+
+// AddProcess inserts a node. The process must have a spec and an unused ID.
+func (g *Graph) AddProcess(p *Process) error {
+	if p == nil || p.Spec == nil {
+		return fmt.Errorf("taskgraph: nil process or spec")
+	}
+	if _, dup := g.procs[p.ID]; dup {
+		return fmt.Errorf("taskgraph: duplicate process %v", p.ID)
+	}
+	g.procs[p.ID] = p
+	g.order = append(g.order, p.ID)
+	return nil
+}
+
+// AddDep inserts a dependence edge from -> to (to waits for from). Both
+// endpoints must exist; self-dependences and duplicate edges are rejected.
+func (g *Graph) AddDep(from, to ProcID) error {
+	if from == to {
+		return fmt.Errorf("taskgraph: self-dependence on %v", from)
+	}
+	if _, ok := g.procs[from]; !ok {
+		return fmt.Errorf("taskgraph: unknown process %v", from)
+	}
+	if _, ok := g.procs[to]; !ok {
+		return fmt.Errorf("taskgraph: unknown process %v", to)
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return fmt.Errorf("taskgraph: duplicate edge %v -> %v", from, to)
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	return nil
+}
+
+// Len returns the number of processes.
+func (g *Graph) Len() int { return len(g.procs) }
+
+// NumEdges returns the number of dependence edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, ss := range g.succ {
+		n += len(ss)
+	}
+	return n
+}
+
+// Process returns the node with the given ID, or nil.
+func (g *Graph) Process(id ProcID) *Process { return g.procs[id] }
+
+// ProcIDs returns all process IDs in deterministic (sorted) order.
+func (g *Graph) ProcIDs() []ProcID {
+	ids := make([]ProcID, 0, len(g.procs))
+	for id := range g.procs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	return ids
+}
+
+// Processes returns all nodes sorted by ID.
+func (g *Graph) Processes() []*Process {
+	ids := g.ProcIDs()
+	out := make([]*Process, len(ids))
+	for i, id := range ids {
+		out[i] = g.procs[id]
+	}
+	return out
+}
+
+// Preds returns the predecessors of id in sorted order.
+func (g *Graph) Preds(id ProcID) []ProcID { return sortedCopy(g.pred[id]) }
+
+// Succs returns the successors of id in sorted order.
+func (g *Graph) Succs(id ProcID) []ProcID { return sortedCopy(g.succ[id]) }
+
+// Roots returns processes with no predecessors ("independent processes"
+// in the paper's terminology), sorted.
+func (g *Graph) Roots() []ProcID {
+	var roots []ProcID
+	for _, id := range g.ProcIDs() {
+		if len(g.pred[id]) == 0 {
+			roots = append(roots, id)
+		}
+	}
+	return roots
+}
+
+// Validate checks that the graph is acyclic.
+func (g *Graph) Validate() error {
+	_, err := g.TopoOrder()
+	return err
+}
+
+// TopoOrder returns a deterministic topological order (Kahn's algorithm
+// with a sorted frontier) or an error naming a process on a cycle.
+func (g *Graph) TopoOrder() ([]ProcID, error) {
+	indeg := make(map[ProcID]int, len(g.procs))
+	for id := range g.procs {
+		indeg[id] = len(g.pred[id])
+	}
+	frontier := make([]ProcID, 0, len(g.procs))
+	for _, id := range g.ProcIDs() {
+		if indeg[id] == 0 {
+			frontier = append(frontier, id)
+		}
+	}
+	out := make([]ProcID, 0, len(g.procs))
+	for len(frontier) > 0 {
+		// Pop the smallest ID to keep the order deterministic.
+		id := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, id)
+		for _, s := range sortedCopy(g.succ[id]) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				frontier = insertSorted(frontier, s)
+			}
+		}
+	}
+	if len(out) != len(g.procs) {
+		for id, d := range indeg {
+			if d > 0 {
+				return nil, fmt.Errorf("taskgraph: cycle through %v", id)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Levels assigns each process its longest-path depth from the roots
+// (roots are level 0). Errors on cyclic graphs.
+func (g *Graph) Levels() (map[ProcID]int, error) {
+	topo, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	lv := make(map[ProcID]int, len(topo))
+	for _, id := range topo {
+		l := 0
+		for _, p := range g.pred[id] {
+			if lv[p]+1 > l {
+				l = lv[p] + 1
+			}
+		}
+		lv[id] = l
+	}
+	return lv, nil
+}
+
+// CriticalPathLen returns the number of processes on the longest chain.
+func (g *Graph) CriticalPathLen() (int, error) {
+	lv, err := g.Levels()
+	if err != nil {
+		return 0, err
+	}
+	maxLv := -1
+	for _, l := range lv {
+		if l > maxLv {
+			maxLv = l
+		}
+	}
+	return maxLv + 1, nil
+}
+
+// CriticalPath returns one longest dependence chain, root to sink, in
+// execution order (ties resolved toward smaller IDs).
+func (g *Graph) CriticalPath() ([]ProcID, error) {
+	lv, err := g.Levels()
+	if err != nil {
+		return nil, err
+	}
+	// Deepest node with the smallest ID.
+	var end ProcID
+	best := -1
+	for _, id := range g.ProcIDs() {
+		if lv[id] > best {
+			best = lv[id]
+			end = id
+		}
+	}
+	if best < 0 {
+		return nil, nil
+	}
+	// Walk back through predecessors one level up each step.
+	path := []ProcID{end}
+	cur := end
+	for lv[cur] > 0 {
+		found := false
+		for _, p := range g.Preds(cur) {
+			if lv[p] == lv[cur]-1 {
+				cur = p
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("taskgraph: broken level structure at %v", cur)
+		}
+		path = append(path, cur)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Tasks returns the distinct task IDs present, sorted.
+func (g *Graph) Tasks() []int {
+	seen := make(map[int]bool)
+	for id := range g.procs {
+		seen[id.Task] = true
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TaskProcs returns the IDs belonging to one task, sorted.
+func (g *Graph) TaskProcs(task int) []ProcID {
+	var out []ProcID
+	for _, id := range g.ProcIDs() {
+		if id.Task == task {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Merge combines several graphs into one EPG. Process IDs must be globally
+// unique across the inputs (use distinct task IDs).
+func Merge(gs ...*Graph) (*Graph, error) {
+	out := New()
+	for _, g := range gs {
+		for _, p := range g.Processes() {
+			if err := out.AddProcess(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, g := range gs {
+		for _, id := range g.ProcIDs() {
+			for _, s := range g.Succs(id) {
+				if err := out.AddDep(id, s); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteDOT renders the graph in Graphviz DOT format for debugging.
+func (g *Graph) WriteDOT(w io.Writer, name string) error {
+	if name == "" {
+		name = "EPG"
+	}
+	if _, err := fmt.Fprintf(w, "digraph %q {\n", name); err != nil {
+		return err
+	}
+	for _, p := range g.Processes() {
+		label := p.ID.String()
+		if p.Spec != nil && p.Spec.Name != "" {
+			label = p.Spec.Name
+		}
+		if _, err := fmt.Fprintf(w, "  %q [label=%q];\n", p.ID.String(), label); err != nil {
+			return err
+		}
+	}
+	for _, id := range g.ProcIDs() {
+		for _, s := range g.Succs(id) {
+			if _, err := fmt.Fprintf(w, "  %q -> %q;\n", id.String(), s.String()); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+func sortedCopy(ids []ProcID) []ProcID {
+	out := append([]ProcID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func insertSorted(ids []ProcID, id ProcID) []ProcID {
+	i := sort.Search(len(ids), func(i int) bool { return id.Less(ids[i]) })
+	ids = append(ids, ProcID{})
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}

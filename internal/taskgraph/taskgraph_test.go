@@ -1,0 +1,320 @@
+package taskgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"locsched/internal/prog"
+)
+
+func specNamed(name string) *prog.ProcessSpec {
+	a := prog.MustArray("A_"+name, 4, 100)
+	iter := prog.Seg("i", 0, 10)
+	return prog.MustProcessSpec(name, iter, 0, prog.StreamRef(a, prog.Read, iter, 1, 0))
+}
+
+func addProc(t *testing.T, g *Graph, task, idx int) ProcID {
+	t.Helper()
+	id := ProcID{Task: task, Idx: idx}
+	if err := g.AddProcess(&Process{ID: id, Spec: specNamed(id.String())}); err != nil {
+		t.Fatalf("AddProcess(%v): %v", id, err)
+	}
+	return id
+}
+
+func TestAddProcessValidation(t *testing.T) {
+	g := New()
+	if err := g.AddProcess(nil); err == nil {
+		t.Error("nil process should fail")
+	}
+	if err := g.AddProcess(&Process{ID: ProcID{0, 0}}); err == nil {
+		t.Error("nil spec should fail")
+	}
+	addProc(t, g, 0, 0)
+	if err := g.AddProcess(&Process{ID: ProcID{0, 0}, Spec: specNamed("dup")}); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+}
+
+func TestAddDepValidation(t *testing.T) {
+	g := New()
+	a := addProc(t, g, 0, 0)
+	b := addProc(t, g, 0, 1)
+	if err := g.AddDep(a, a); err == nil {
+		t.Error("self-dependence should fail")
+	}
+	if err := g.AddDep(a, ProcID{9, 9}); err == nil {
+		t.Error("unknown target should fail")
+	}
+	if err := g.AddDep(ProcID{9, 9}, a); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatalf("AddDep: %v", err)
+	}
+	if err := g.AddDep(a, b); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestRootsAndAdjacency(t *testing.T) {
+	g := New()
+	a := addProc(t, g, 0, 0)
+	b := addProc(t, g, 0, 1)
+	c := addProc(t, g, 0, 2)
+	if err := g.AddDep(a, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(b, c); err != nil {
+		t.Fatal(err)
+	}
+	roots := g.Roots()
+	if len(roots) != 2 || roots[0] != a || roots[1] != b {
+		t.Errorf("Roots = %v, want [%v %v]", roots, a, b)
+	}
+	if got := g.Preds(c); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("Preds(c) = %v", got)
+	}
+	if got := g.Succs(a); len(got) != 1 || got[0] != c {
+		t.Errorf("Succs(a) = %v", got)
+	}
+}
+
+func TestTopoOrderDeterministicAndValid(t *testing.T) {
+	g := New()
+	// Diamond: 0 -> {1,2} -> 3
+	n0 := addProc(t, g, 0, 0)
+	n1 := addProc(t, g, 0, 1)
+	n2 := addProc(t, g, 0, 2)
+	n3 := addProc(t, g, 0, 3)
+	for _, e := range [][2]ProcID{{n0, n1}, {n0, n2}, {n1, n3}, {n2, n3}} {
+		if err := g.AddDep(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topo, err := g.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	pos := make(map[ProcID]int)
+	for i, id := range topo {
+		pos[id] = i
+	}
+	for _, id := range g.ProcIDs() {
+		for _, s := range g.Succs(id) {
+			if pos[id] >= pos[s] {
+				t.Errorf("edge %v -> %v violated in topo order %v", id, s, topo)
+			}
+		}
+	}
+	// Determinism: run again.
+	topo2, _ := g.TopoOrder()
+	for i := range topo {
+		if topo[i] != topo2[i] {
+			t.Fatalf("TopoOrder not deterministic: %v vs %v", topo, topo2)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New()
+	a := addProc(t, g, 0, 0)
+	b := addProc(t, g, 0, 1)
+	c := addProc(t, g, 0, 2)
+	for _, e := range [][2]ProcID{{a, b}, {b, c}, {c, a}} {
+		if err := g.AddDep(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Validate(); err == nil {
+		t.Error("cyclic graph should fail validation")
+	}
+	if _, err := g.Levels(); err == nil {
+		t.Error("Levels of cyclic graph should fail")
+	}
+}
+
+func TestLevelsAndCriticalPath(t *testing.T) {
+	g := New()
+	// Chain of 3 plus a detached node.
+	a := addProc(t, g, 0, 0)
+	b := addProc(t, g, 0, 1)
+	c := addProc(t, g, 0, 2)
+	d := addProc(t, g, 0, 3)
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(b, c); err != nil {
+		t.Fatal(err)
+	}
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	want := map[ProcID]int{a: 0, b: 1, c: 2, d: 0}
+	for id, l := range want {
+		if lv[id] != l {
+			t.Errorf("level(%v) = %d, want %d", id, lv[id], l)
+		}
+	}
+	cp, err := g.CriticalPathLen()
+	if err != nil {
+		t.Fatalf("CriticalPathLen: %v", err)
+	}
+	if cp != 3 {
+		t.Errorf("CriticalPathLen = %d, want 3", cp)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g := New()
+	a := addProc(t, g, 0, 0)
+	b := addProc(t, g, 0, 1)
+	c := addProc(t, g, 0, 2)
+	d := addProc(t, g, 0, 3) // detached
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(b, c); err != nil {
+		t.Fatal(err)
+	}
+	path, err := g.CriticalPath()
+	if err != nil {
+		t.Fatalf("CriticalPath: %v", err)
+	}
+	want := []ProcID{a, b, c}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path[%d] = %v, want %v", i, path[i], want[i])
+		}
+	}
+	// Path edges must exist.
+	for i := 1; i < len(path); i++ {
+		found := false
+		for _, s := range g.Succs(path[i-1]) {
+			if s == path[i] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("path step %v -> %v is not an edge", path[i-1], path[i])
+		}
+	}
+	_ = d
+}
+
+func TestMergeAndTasks(t *testing.T) {
+	g1 := New()
+	a := addProc(t, g1, 0, 0)
+	b := addProc(t, g1, 0, 1)
+	if err := g1.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	g2 := New()
+	c := addProc(t, g2, 1, 0)
+	d := addProc(t, g2, 1, 1)
+	if err := g2.AddDep(c, d); err != nil {
+		t.Fatal(err)
+	}
+	epg, err := Merge(g1, g2)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if epg.Len() != 4 || epg.NumEdges() != 2 {
+		t.Errorf("merged: %d procs %d edges, want 4/2", epg.Len(), epg.NumEdges())
+	}
+	tasks := epg.Tasks()
+	if len(tasks) != 2 || tasks[0] != 0 || tasks[1] != 1 {
+		t.Errorf("Tasks = %v, want [0 1]", tasks)
+	}
+	tp := epg.TaskProcs(1)
+	if len(tp) != 2 || tp[0] != c || tp[1] != d {
+		t.Errorf("TaskProcs(1) = %v", tp)
+	}
+	// Inter-task dependence (what makes it an EPG).
+	if err := epg.AddDep(b, c); err != nil {
+		t.Fatalf("inter-task AddDep: %v", err)
+	}
+	if err := epg.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestMergeDuplicateIDsFails(t *testing.T) {
+	g1 := New()
+	addProc(t, g1, 0, 0)
+	g2 := New()
+	addProc(t, g2, 0, 0)
+	if _, err := Merge(g1, g2); err == nil {
+		t.Error("merging graphs with clashing IDs should fail")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	a := addProc(t, g, 0, 0)
+	b := addProc(t, g, 0, 1)
+	if err := g.AddDep(a, b); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, "test"); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "P0.0", "P0.1", "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRandomDAGsAlwaysTopoSort property: graphs built with only
+// forward edges (by index) are acyclic, and TopoOrder covers all nodes
+// while respecting every edge.
+func TestRandomDAGsAlwaysTopoSort(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		g := New()
+		n := 2 + r.Intn(20)
+		ids := make([]ProcID, n)
+		for i := 0; i < n; i++ {
+			ids[i] = addProc(t, g, 0, i)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Intn(4) == 0 {
+					if err := g.AddDep(ids[i], ids[j]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		topo, err := g.TopoOrder()
+		if err != nil {
+			t.Fatalf("trial %d: TopoOrder: %v", trial, err)
+		}
+		if len(topo) != n {
+			t.Fatalf("trial %d: topo covers %d of %d", trial, len(topo), n)
+		}
+		pos := make(map[ProcID]int)
+		for i, id := range topo {
+			pos[id] = i
+		}
+		for _, id := range g.ProcIDs() {
+			for _, s := range g.Succs(id) {
+				if pos[id] >= pos[s] {
+					t.Fatalf("trial %d: edge %v->%v violated", trial, id, s)
+				}
+			}
+		}
+	}
+}

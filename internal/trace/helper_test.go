@@ -1,0 +1,7 @@
+package trace
+
+import "locsched/internal/cache"
+
+func testGeomFor() cache.Geometry {
+	return cache.Geometry{Size: 8 * 1024, BlockSize: 32, Assoc: 2}
+}

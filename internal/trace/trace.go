@@ -1,0 +1,123 @@
+// Package trace turns a process's static description (iteration space ×
+// affine references) into the dynamic address stream the simulated cores
+// execute. Cursors are resumable so that preemptive schedulers (the
+// paper's RRS baseline) can stop a process mid-stream and continue it
+// later, possibly on a different core.
+package trace
+
+import (
+	"fmt"
+
+	"locsched/internal/layout"
+	"locsched/internal/prog"
+)
+
+// Access is one memory reference of the stream.
+type Access struct {
+	Addr    int64
+	Write   bool
+	NewIter bool // first access of an iteration: charge compute cycles
+}
+
+// Generator produces cursors over process specs under a fixed address
+// map. Iteration-point lists are materialized once per spec and shared by
+// all cursors (so RRS re-runs and repeated experiments stay cheap).
+type Generator struct {
+	am     layout.AddressMap
+	points map[*prog.ProcessSpec][][]int64
+}
+
+// NewGenerator builds a generator over the address map.
+func NewGenerator(am layout.AddressMap) *Generator {
+	return &Generator{am: am, points: make(map[*prog.ProcessSpec][][]int64)}
+}
+
+// AddressMap returns the generator's address map.
+func (g *Generator) AddressMap() layout.AddressMap { return g.am }
+
+func (g *Generator) pointsOf(spec *prog.ProcessSpec) ([][]int64, error) {
+	if pts, ok := g.points[spec]; ok {
+		return pts, nil
+	}
+	n, err := spec.Iterations()
+	if err != nil {
+		return nil, err
+	}
+	pts := make([][]int64, 0, n)
+	err = spec.IterSpace.Points(func(pt []int64) bool {
+		pts = append(pts, append([]int64(nil), pt...))
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: process %s: %w", spec.Name, err)
+	}
+	g.points[spec] = pts
+	return pts, nil
+}
+
+// Cursor walks a process's access stream: for each iteration point in
+// lexicographic order, each reference in program order.
+type Cursor struct {
+	gen    *Generator
+	spec   *prog.ProcessSpec
+	points [][]int64
+	ptIdx  int
+	refIdx int
+	idxBuf []int64
+}
+
+// NewCursor returns a cursor positioned at the start of the process.
+func (g *Generator) NewCursor(spec *prog.ProcessSpec) (*Cursor, error) {
+	pts, err := g.pointsOf(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{gen: g, spec: spec, points: pts}, nil
+}
+
+// Spec returns the process being traced.
+func (c *Cursor) Spec() *prog.ProcessSpec { return c.spec }
+
+// Next returns the next access; ok is false at end of stream.
+func (c *Cursor) Next() (Access, bool) {
+	if c.ptIdx >= len(c.points) {
+		return Access{}, false
+	}
+	ref := c.spec.Refs[c.refIdx]
+	pt := c.points[c.ptIdx]
+	c.idxBuf = ref.Map.Apply(pt, c.idxBuf)
+	lin := ref.Array.LinearIndex(c.idxBuf)
+	acc := Access{
+		Addr:    c.gen.am.Addr(ref.Array, lin),
+		Write:   ref.Kind == prog.Write,
+		NewIter: c.refIdx == 0,
+	}
+	c.refIdx++
+	if c.refIdx == len(c.spec.Refs) {
+		c.refIdx = 0
+		c.ptIdx++
+	}
+	return acc, true
+}
+
+// Done reports whether the stream is exhausted.
+func (c *Cursor) Done() bool { return c.ptIdx >= len(c.points) }
+
+// Remaining returns the number of accesses left in the stream.
+func (c *Cursor) Remaining() int64 {
+	if c.Done() {
+		return 0
+	}
+	full := int64(len(c.points)-c.ptIdx) * int64(len(c.spec.Refs))
+	return full - int64(c.refIdx)
+}
+
+// Total returns the total number of accesses in the full stream.
+func (c *Cursor) Total() int64 {
+	return int64(len(c.points)) * int64(len(c.spec.Refs))
+}
+
+// Reset rewinds the cursor to the start of the stream.
+func (c *Cursor) Reset() {
+	c.ptIdx, c.refIdx = 0, 0
+}

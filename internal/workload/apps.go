@@ -1,0 +1,454 @@
+package workload
+
+import (
+	"fmt"
+
+	"locsched/internal/presburger"
+	"locsched/internal/prog"
+	"locsched/internal/taskgraph"
+)
+
+// The six builders below model the observable structure of the paper's
+// applications: phase-parallel bands with producer→consumer chains (the
+// sharing the LS scheduler exploits), halo overlap between neighbouring
+// bands (the banded matrices of Figure 2a), and per-task private arrays
+// (so concurrent tasks conflict in the cache but never share — the
+// situation the LSM mapping phase targets).
+
+// read/write helpers over a 1-D iteration space [lo,hi).
+func rd(arr *prog.Array, iter *presburger.BasicSet, stride, off int64) prog.Ref {
+	return prog.StreamRef(arr, prog.Read, iter, stride, off)
+}
+
+func wr(arr *prog.Array, iter *presburger.BasicSet, stride, off int64) prog.Ref {
+	return prog.StreamRef(arr, prog.Write, iter, stride, off)
+}
+
+// buildMedIm models medical image reconstruction: 8 backprojection
+// processes, 8 filter processes, 8 refinement processes (24 total) in
+// three dependent phases over banded proj/image/recon arrays, with halo
+// sharing between neighbouring bands.
+func buildMedIm(b *builder, band int64) error {
+	const lanes = 8
+	halo := band / 8
+	proj := b.array("proj", lanes*band)
+	image := b.array("image", lanes*band)
+	recon := b.array("recon", lanes*band)
+
+	var phaseA, phaseB, phaseC [lanes]taskgraph.ProcID
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("bproj%d", i), iter, 3,
+			rd(proj, iter, 1, i*band),
+			wr(image, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		phaseA[i] = id
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("filter%d", i), iter, 4,
+			rd(image, iter, 1, i*band),
+			rd(image, iter, 1, i*band-halo), // halo with band i-1 (wraps)
+			rd(image, iter, 1, i*band+halo), // halo with band i+1
+			wr(recon, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		phaseB[i] = id
+		if err := b.dep(phaseA[i], id); err != nil {
+			return err
+		}
+		if err := b.dep(phaseA[(i+lanes-1)%lanes], id); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("refine%d", i), iter, 3,
+			rd(recon, iter, 1, i*band),
+			rd(recon, iter, 1, i*band+halo),
+			wr(image, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		phaseC[i] = id
+		if err := b.dep(phaseB[i], id); err != nil {
+			return err
+		}
+		if err := b.dep(phaseB[(i+1)%lanes], id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildMxM models the triple matrix product E = (A×B)×D as two 8-way
+// band-parallel multiply phases plus a final reduction (17 processes).
+// All first-phase processes read the whole of B (concurrent sharing the
+// scheduler cannot exploit, as the paper notes); each second-phase
+// process re-reads the C band its first-phase partner produced.
+func buildMxM(b *builder, band int64) error {
+	const lanes = 8
+	// The shared factor matrices are kept small (a quarter band): every
+	// lane re-reads them (mutual sharing among parallel lanes, which the
+	// scheduler must not over-reward by serializing the phase), while the
+	// producer→consumer sharing along each lane's C band dominates.
+	ma := b.array("A", lanes*band)
+	mb := b.array("B", band/4)
+	mc := b.array("C", lanes*band)
+	md := b.array("D", band/4)
+	me := b.array("E", lanes*band)
+
+	var p1, p2 [lanes]taskgraph.ProcID
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("mul1_%d", i), iter, 4,
+			rd(ma, iter, 1, i*band),
+			rd(mb, iter, 1, 0), // wraps: every lane streams all of B
+			wr(mc, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		p1[i] = id
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("mul2_%d", i), iter, 4,
+			rd(mc, iter, 1, i*band),
+			rd(md, iter, 1, 0),
+			wr(me, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		p2[i] = id
+		if err := b.dep(p1[i], id); err != nil {
+			return err
+		}
+	}
+	// The reduction streams three E bands (duration comparable to the
+	// multiply lanes, so the static schedule stays balanced).
+	iter := prog.Seg("i", 0, band)
+	reduce, err := b.proc("reduce", iter, 2,
+		rd(me, iter, 1, 0),
+		rd(me, iter, 1, 3*band),
+		rd(me, iter, 1, 6*band),
+	)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < lanes; i++ {
+		if err := b.dep(p2[i], reduce); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildRadar models radar imaging as a banded four-stage pipeline:
+// 4 pre-filter processes, 4 range-compression processes, 4 corner-turn
+// processes (each two bands wide), and 8 azimuth-compression processes
+// (20 total). Each stage re-reads what its lane's predecessor produced.
+func buildRadar(b *builder, band int64) error {
+	const lanes = 8
+	raw := b.array("raw", lanes*band)
+	sig := b.array("sig", lanes*band)
+	rng := b.array("range", lanes*band)
+	ct := b.array("turn", lanes*band)
+
+	var pre, r1, turns [4]taskgraph.ProcID
+	for j := int64(0); j < 4; j++ {
+		iter := prog.Seg("i", 0, 2*band)
+		id, err := b.proc(fmt.Sprintf("prefilt%d", j), iter, 3,
+			rd(raw, iter, 1, 2*j*band),
+			wr(sig, iter, 1, 2*j*band),
+		)
+		if err != nil {
+			return err
+		}
+		pre[j] = id
+	}
+	for j := int64(0); j < 4; j++ {
+		iter := prog.Seg("i", 0, 2*band)
+		id, err := b.proc(fmt.Sprintf("range%d", j), iter, 5,
+			rd(sig, iter, 1, 2*j*band),
+			wr(rng, iter, 1, 2*j*band),
+		)
+		if err != nil {
+			return err
+		}
+		r1[j] = id
+		if err := b.dep(pre[j], id); err != nil {
+			return err
+		}
+	}
+	for j := int64(0); j < 4; j++ {
+		iter := prog.Seg("i", 0, 2*band)
+		id, err := b.proc(fmt.Sprintf("turn%d", j), iter, 2,
+			rd(rng, iter, 1, 2*j*band),
+			wr(ct, iter, 1, 2*j*band),
+		)
+		if err != nil {
+			return err
+		}
+		turns[j] = id
+		if err := b.dep(r1[j], id); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		// Azimuth compression over the banded corner turn: lane i only
+		// needs the turn process that produced its band.
+		id, err := b.proc(fmt.Sprintf("azimuth%d", i), iter, 5,
+			rd(ct, iter, 1, i*band),
+			rd(ct, iter, 1, i*band+band/8),
+			wr(rng, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		if err := b.dep(turns[i/2], id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildShape models pattern recognition/shape analysis: 4 edge-detection
+// processes, 4 moment-extraction processes, one classifier (9 total).
+func buildShape(b *builder, band int64) error {
+	const lanes = 4
+	img := b.array("img", lanes*band)
+	edge := b.array("edge", lanes*band)
+	feat := b.array("feat", lanes*64)
+	tmpl := b.array("tmpl", band)
+
+	var s1, s2 [lanes]taskgraph.ProcID
+	halo := band / 8
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("edge%d", i), iter, 3,
+			rd(img, iter, 1, i*band),
+			rd(img, iter, 1, i*band+halo),
+			wr(edge, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		s1[i] = id
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("moment%d", i), iter, 4,
+			rd(edge, iter, 1, i*band),
+			wr(feat, iter, 0, i*64), // accumulate into the lane's feature slot
+		)
+		if err != nil {
+			return err
+		}
+		s2[i] = id
+		if err := b.dep(s1[i], id); err != nil {
+			return err
+		}
+		if err := b.dep(s1[(i+1)%lanes], id); err != nil {
+			return err
+		}
+	}
+	// The classifier matches features against a template bank; feature
+	// reads wrap around the small feat array (LinearIndex wraps modulo
+	// the extent).
+	iter := prog.Seg("i", 0, band)
+	classify, err := b.proc("classify", iter, 3,
+		rd(tmpl, iter, 1, 0),
+		rd(feat, iter, 1, 0),
+		rd(edge, iter, 1, 0),
+	)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < lanes; i++ {
+		if err := b.dep(s2[i], classify); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildTrack models visual tracking control: 4 frame-difference
+// processes, 4 candidate detectors, 4 serialized track-state updates
+// (12 total). The state updates form a chain through a small shared
+// state array.
+func buildTrack(b *builder, band int64) error {
+	const lanes = 4
+	prev := b.array("prev", lanes*band)
+	cur := b.array("cur", lanes*band)
+	diff := b.array("diff", lanes*band)
+	cand := b.array("cand", lanes*64)
+	state := b.array("state", 64)
+
+	var t1, t2, t3 [lanes]taskgraph.ProcID
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("fdiff%d", i), iter, 2,
+			rd(prev, iter, 1, i*band),
+			rd(cur, iter, 1, i*band),
+			wr(diff, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		t1[i] = id
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("detect%d", i), iter, 3,
+			rd(diff, iter, 1, i*band),
+			wr(cand, iter, 0, i*64),
+		)
+		if err != nil {
+			return err
+		}
+		t2[i] = id
+		if err := b.dep(t1[i], id); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < lanes; i++ {
+		// The update re-reads its lane's difference band (warm if
+		// scheduled after the matching detector) and walks the small
+		// shared state (reads wrap around its 64 elements).
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("update%d", i), iter, 4,
+			rd(diff, iter, 1, i*band),
+			rd(state, iter, 1, 0),
+		)
+		if err != nil {
+			return err
+		}
+		t3[i] = id
+		if err := b.dep(t2[i], id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildUsonic models feature-based object recognition as a four-stage
+// 8-lane pipeline — extract, match, verify, refine — followed by a 4-way
+// score fusion and a final vote (8×4 + 4 + 1 = 37 processes, the paper's
+// largest task).
+func buildUsonic(b *builder, band int64) error {
+	const lanes = 8
+	sig := b.array("sig", lanes*band)
+	desc := b.array("desc", lanes*band)
+	model := b.array("model", band/2) // small shared DB: halves of band/4
+	refined := b.array("refined", lanes*band)
+	score := b.array("score", lanes*32)
+
+	var u1, u2, u3, u4 [lanes]taskgraph.ProcID
+	halo := band / 8
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("feat%d", i), iter, 3,
+			rd(sig, iter, 1, i*band),
+			wr(desc, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		u1[i] = id
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("match%d", i), iter, 4,
+			rd(desc, iter, 1, i*band),
+			rd(model, iter, 1, (i%2)*(band/4)), // half the model DB per lane (wraps)
+			wr(score, iter, 0, i*32),
+		)
+		if err != nil {
+			return err
+		}
+		u2[i] = id
+		if err := b.dep(u1[i], id); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("verify%d", i), iter, 3,
+			rd(desc, iter, 1, i*band),
+			rd(desc, iter, 1, i*band+halo),
+			wr(score, iter, 0, i*32+16),
+		)
+		if err != nil {
+			return err
+		}
+		u3[i] = id
+		if err := b.dep(u2[i], id); err != nil {
+			return err
+		}
+		// The halo read spills into band i+1 of desc, produced by the
+		// neighbouring extractor (an early phase, so the wait is short).
+		if err := b.dep(u1[(i+1)%lanes], id); err != nil {
+			return err
+		}
+	}
+	for i := int64(0); i < lanes; i++ {
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("refine%d", i), iter, 3,
+			rd(desc, iter, 1, i*band),
+			wr(refined, iter, 1, i*band),
+		)
+		if err != nil {
+			return err
+		}
+		u4[i] = id
+		if err := b.dep(u3[i], id); err != nil {
+			return err
+		}
+	}
+	var fuse [4]taskgraph.ProcID
+	for j := int64(0); j < 4; j++ {
+		// Each fusion process folds two refined lanes into their score
+		// slots (reads wrap the small score array).
+		iter := prog.Seg("i", 0, band)
+		id, err := b.proc(fmt.Sprintf("fuse%d", j), iter, 3,
+			rd(refined, iter, 1, 2*j*band),
+			rd(refined, iter, 1, (2*j+1)*band),
+			wr(score, iter, 0, j*64),
+		)
+		if err != nil {
+			return err
+		}
+		fuse[j] = id
+		if err := b.dep(u4[2*j], id); err != nil {
+			return err
+		}
+		if err := b.dep(u4[2*j+1], id); err != nil {
+			return err
+		}
+	}
+	// The vote walks every score (wrapping the small score array) while
+	// re-reading one refined band.
+	iter := prog.Seg("i", 0, band)
+	vote, err := b.proc("vote", iter, 2,
+		rd(score, iter, 1, 0),
+		rd(refined, iter, 1, 5*band),
+	)
+	if err != nil {
+		return err
+	}
+	for j := 0; j < 4; j++ {
+		if err := b.dep(fuse[j], vote); err != nil {
+			return err
+		}
+	}
+	return nil
+}

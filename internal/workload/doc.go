@@ -1,0 +1,49 @@
+// Package workload provides the six applications of the paper's Table 1
+// as parameterized synthetic task graphs, plus a JSON loader for custom
+// task sets. The originals are proprietary array-intensive image/video
+// codes; what the scheduler and the cache model observe — process counts
+// (9–37 per task), dependence structure, affine reference patterns,
+// per-process footprints of a few KB against an 8KB L1, banded
+// intra-task sharing, and zero inter-task sharing — is reproduced here
+// (see DESIGN.md, "Substitutions"). Every builder is deterministic: the
+// same name, task ID and parameters produce the same graph, arrays and
+// addresses.
+//
+// Application structure notes. All arrays hold 4-byte elements; the base
+// band is 256 elements (1KB) scaled by Params.Scale.
+//
+// Med-Im04 (24 processes). Three 8-lane phases over banded proj/image/
+// recon arrays: backprojection (read proj band, write image band),
+// filtering (read image band ±halo, write recon band), refinement (read
+// recon band +halo, write image band). Filters depend on their own and
+// their left neighbour's backprojection; refinements on their own and
+// right neighbour's filter — the banded halo dependences behind the
+// Figure 2(a)-style sharing structure.
+//
+// MxM (17 processes). The triple product E = (A×B)×D as two 8-lane
+// multiply phases plus one reduction reading three E bands. The shared
+// factor matrices B and D are a quarter band each: every lane re-reads
+// them (mutual sharing among parallel lanes), while each lane's C band
+// carries the heavy producer→consumer sharing.
+//
+// Radar (20 processes). A banded four-stage pipeline: 4 two-band-wide
+// pre-filters, 4 range compressions, 4 corner turns, 8 azimuth
+// compressions, each stage re-reading its lane predecessor's bands.
+//
+// Shape (9 processes, the paper's minimum). 4 edge detectors with halo
+// reads, 4 moment extractors accumulating into a small feature vector,
+// and one classifier matching features against a template bank.
+//
+// Track (12 processes). 4 frame-difference processes reading prev/cur
+// bands and writing diff bands, 4 candidate detectors, 4 state updates
+// re-reading their diff band and walking a small shared state array.
+// prev, cur and diff are laid out page-aligned relative to each other,
+// so every frame-difference iteration touches three exactly-aliasing
+// blocks — the intra-process conflict pathology that the LSM mapping
+// phase (and only it) removes.
+//
+// Usonic (37 processes, the paper's maximum). A four-stage 8-lane
+// pipeline — extract, match (against a small shared model DB), verify
+// (with neighbour halo), refine — followed by a 4-way score fusion and
+// a final vote.
+package workload

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"locsched/internal/prog"
+	"locsched/internal/taskgraph"
+)
+
+// The JSON task-set format lets users drive the scheduler and simulator
+// without writing Go: a list of tasks, each with its arrays and
+// processes (1-D iteration spaces with strided references, the shape of
+// the paper's workloads).
+//
+//	{
+//	  "tasks": [{
+//	    "name": "mytask",
+//	    "arrays": [{"name": "A", "elems": 2048, "elem_bytes": 4}],
+//	    "procs": [{
+//	      "name": "reader",
+//	      "iter_lo": 0, "iter_hi": 512, "compute": 2,
+//	      "refs": [{"array": "A", "kind": "r", "stride": 1, "offset": 0}],
+//	      "deps": []
+//	    }]
+//	  }]
+//	}
+
+type jsonRef struct {
+	Array  string `json:"array"`
+	Kind   string `json:"kind"` // "r" or "w"
+	Stride int64  `json:"stride"`
+	Offset int64  `json:"offset"`
+}
+
+type jsonProc struct {
+	Name    string    `json:"name"`
+	IterLo  int64     `json:"iter_lo"`
+	IterHi  int64     `json:"iter_hi"`
+	Compute int64     `json:"compute"`
+	Refs    []jsonRef `json:"refs"`
+	Deps    []int     `json:"deps"` // indices of predecessor processes within the task
+}
+
+type jsonArray struct {
+	Name      string `json:"name"`
+	Elems     int64  `json:"elems"`
+	ElemBytes int64  `json:"elem_bytes"`
+}
+
+type jsonTask struct {
+	Name   string      `json:"name"`
+	Arrays []jsonArray `json:"arrays"`
+	Procs  []jsonProc  `json:"procs"`
+}
+
+type jsonSpec struct {
+	Tasks []jsonTask `json:"tasks"`
+}
+
+// FromJSON reads a task-set description and builds one App per task,
+// with task IDs assigned by position.
+func FromJSON(r io.Reader) ([]*App, error) {
+	var spec jsonSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("workload: parsing task set: %w", err)
+	}
+	if len(spec.Tasks) == 0 {
+		return nil, fmt.Errorf("workload: task set has no tasks")
+	}
+	var apps []*App
+	for ti, jt := range spec.Tasks {
+		if jt.Name == "" {
+			return nil, fmt.Errorf("workload: task %d has no name", ti)
+		}
+		arrays := make(map[string]*prog.Array, len(jt.Arrays))
+		var order []*prog.Array
+		for _, ja := range jt.Arrays {
+			if _, dup := arrays[ja.Name]; dup {
+				return nil, fmt.Errorf("workload: task %s: duplicate array %q", jt.Name, ja.Name)
+			}
+			eb := ja.ElemBytes
+			if eb == 0 {
+				eb = 4
+			}
+			a, err := prog.NewArray(fmt.Sprintf("t%d.%s", ti, ja.Name), eb, ja.Elems)
+			if err != nil {
+				return nil, fmt.Errorf("workload: task %s: %w", jt.Name, err)
+			}
+			arrays[ja.Name] = a
+			order = append(order, a)
+		}
+		g := taskgraph.New()
+		ids := make([]taskgraph.ProcID, len(jt.Procs))
+		for pi, jp := range jt.Procs {
+			if jp.IterHi <= jp.IterLo {
+				return nil, fmt.Errorf("workload: task %s proc %d: empty iteration space [%d,%d)",
+					jt.Name, pi, jp.IterLo, jp.IterHi)
+			}
+			iter := prog.Seg("i", jp.IterLo, jp.IterHi)
+			var refs []prog.Ref
+			for ri, jr := range jp.Refs {
+				arr, ok := arrays[jr.Array]
+				if !ok {
+					return nil, fmt.Errorf("workload: task %s proc %d ref %d: unknown array %q",
+						jt.Name, pi, ri, jr.Array)
+				}
+				kind := prog.Read
+				switch jr.Kind {
+				case "r", "":
+					kind = prog.Read
+				case "w":
+					kind = prog.Write
+				default:
+					return nil, fmt.Errorf("workload: task %s proc %d ref %d: kind %q (want r or w)",
+						jt.Name, pi, ri, jr.Kind)
+				}
+				refs = append(refs, prog.StreamRef(arr, kind, iter, jr.Stride, jr.Offset))
+			}
+			name := jp.Name
+			if name == "" {
+				name = fmt.Sprintf("p%d", pi)
+			}
+			spec, err := prog.NewProcessSpec(fmt.Sprintf("t%d.%s", ti, name), iter, jp.Compute, refs...)
+			if err != nil {
+				return nil, fmt.Errorf("workload: task %s proc %d: %w", jt.Name, pi, err)
+			}
+			ids[pi] = taskgraph.ProcID{Task: ti, Idx: pi}
+			if err := g.AddProcess(&taskgraph.Process{ID: ids[pi], Spec: spec}); err != nil {
+				return nil, err
+			}
+		}
+		for pi, jp := range jt.Procs {
+			for _, d := range jp.Deps {
+				if d < 0 || d >= len(jt.Procs) {
+					return nil, fmt.Errorf("workload: task %s proc %d: dep index %d out of range",
+						jt.Name, pi, d)
+				}
+				if err := g.AddDep(ids[d], ids[pi]); err != nil {
+					return nil, fmt.Errorf("workload: task %s proc %d: %w", jt.Name, pi, err)
+				}
+			}
+		}
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: task %s: %w", jt.Name, err)
+		}
+		apps = append(apps, &App{
+			Name:   jt.Name,
+			Desc:   "user-defined task",
+			Task:   ti,
+			Graph:  g,
+			Arrays: order,
+		})
+	}
+	return apps, nil
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+
+	"locsched/internal/presburger"
+	"locsched/internal/prog"
+	"locsched/internal/taskgraph"
+)
+
+// Params tunes the synthetic workloads.
+type Params struct {
+	// Scale multiplies the base band size (256 elements = 1KB of 4-byte
+	// data). Scale 2 gives per-process footprints of a few KB against the
+	// paper's 8KB L1. Zero means DefaultScale.
+	Scale int
+}
+
+// DefaultScale is used when Params.Scale is zero.
+const DefaultScale = 2
+
+func (p Params) scale() int64 {
+	if p.Scale <= 0 {
+		return DefaultScale
+	}
+	return int64(p.Scale)
+}
+
+// App is one task: a named process graph plus its arrays.
+type App struct {
+	Name   string
+	Desc   string
+	Task   int
+	Graph  *taskgraph.Graph
+	Arrays []*prog.Array
+}
+
+// Procs returns the number of processes.
+func (a *App) Procs() int { return a.Graph.Len() }
+
+// FootprintBytes returns the total bytes of all arrays.
+func (a *App) FootprintBytes() int64 {
+	var n int64
+	for _, arr := range a.Arrays {
+		n += arr.Bytes()
+	}
+	return n
+}
+
+// Names returns the application names in the paper's Table 1 order.
+func Names() []string {
+	return []string{"Med-Im04", "MxM", "Radar", "Shape", "Track", "Usonic"}
+}
+
+// Describe returns the paper's one-line description of an application.
+func Describe(name string) string {
+	switch name {
+	case "Med-Im04":
+		return "medical image reconstruction"
+	case "MxM":
+		return "triple matrix multiplication"
+	case "Radar":
+		return "radar imaging"
+	case "Shape":
+		return "pattern recognition and shape analysis"
+	case "Track":
+		return "visual tracking control"
+	case "Usonic":
+		return "feature-based object recognition"
+	}
+	return ""
+}
+
+// Build constructs the named application as task `task`.
+func Build(name string, task int, p Params) (*App, error) {
+	b := &builder{task: task, g: taskgraph.New()}
+	s := p.scale()
+	band := 256 * s // elements per band (1KB × scale)
+	var err error
+	switch name {
+	case "Med-Im04":
+		err = buildMedIm(b, band)
+	case "MxM":
+		err = buildMxM(b, band)
+	case "Radar":
+		err = buildRadar(b, band)
+	case "Shape":
+		err = buildShape(b, band)
+	case "Track":
+		err = buildTrack(b, band)
+	case "Usonic":
+		err = buildUsonic(b, band)
+	default:
+		return nil, fmt.Errorf("workload: unknown application %q", name)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("workload: building %s: %w", name, err)
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %s graph invalid: %w", name, err)
+	}
+	return &App{
+		Name:   name,
+		Desc:   Describe(name),
+		Task:   task,
+		Graph:  b.g,
+		Arrays: b.arrays,
+	}, nil
+}
+
+// MustBuild is Build that panics on error.
+func MustBuild(name string, task int, p Params) *App {
+	a, err := Build(name, task, p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// BuildAll constructs all six applications with task IDs 0..5 in Table 1
+// order.
+func BuildAll(p Params) ([]*App, error) {
+	var apps []*App
+	for i, name := range Names() {
+		a, err := Build(name, i, p)
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, a)
+	}
+	return apps, nil
+}
+
+// Combine merges several applications into one EPG (the concurrent
+// workloads of Figure 7) and collects their arrays in order. Task IDs
+// must be distinct.
+func Combine(apps ...*App) (*taskgraph.Graph, []*prog.Array, error) {
+	if len(apps) == 0 {
+		return nil, nil, fmt.Errorf("workload: no applications to combine")
+	}
+	graphs := make([]*taskgraph.Graph, len(apps))
+	var arrays []*prog.Array
+	for i, a := range apps {
+		graphs[i] = a.Graph
+		arrays = append(arrays, a.Arrays...)
+	}
+	epg, err := taskgraph.Merge(graphs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return epg, arrays, nil
+}
+
+// builder accumulates one task's processes, dependences and arrays.
+type builder struct {
+	task   int
+	g      *taskgraph.Graph
+	arrays []*prog.Array
+	nprocs int
+}
+
+const elemSize = 4 // all workload arrays hold 4-byte elements
+
+func (b *builder) array(name string, elems int64) *prog.Array {
+	a := prog.MustArray(fmt.Sprintf("t%d.%s", b.task, name), elemSize, elems)
+	b.arrays = append(b.arrays, a)
+	return a
+}
+
+// proc adds a process with a 1-D iteration space [iterLo, iterHi) and the
+// given references (whose maps must be built over iter.Space() — use the
+// refs helper below).
+func (b *builder) proc(name string, iter *presburger.BasicSet, compute int64, refs ...prog.Ref) (taskgraph.ProcID, error) {
+	spec, err := prog.NewProcessSpec(fmt.Sprintf("t%d.%s", b.task, name), iter, compute, refs...)
+	if err != nil {
+		return taskgraph.ProcID{}, err
+	}
+	id := taskgraph.ProcID{Task: b.task, Idx: b.nprocs}
+	b.nprocs++
+	if err := b.g.AddProcess(&taskgraph.Process{ID: id, Spec: spec}); err != nil {
+		return taskgraph.ProcID{}, err
+	}
+	return id, nil
+}
+
+func (b *builder) dep(from, to taskgraph.ProcID) error { return b.g.AddDep(from, to) }

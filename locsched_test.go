@@ -1,0 +1,283 @@
+package locsched_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"locsched"
+)
+
+func TestFacadeBuildAndRun(t *testing.T) {
+	cfg := locsched.DefaultConfig()
+	cfg.Workload.Scale = 1
+	names := locsched.AppNames()
+	if len(names) != 6 {
+		t.Fatalf("AppNames = %v", names)
+	}
+	if locsched.DescribeApp("MxM") == "" {
+		t.Error("DescribeApp should describe MxM")
+	}
+	app, err := locsched.BuildApp("Shape", 0, cfg.Workload)
+	if err != nil {
+		t.Fatalf("BuildApp: %v", err)
+	}
+	if app.Procs() != 9 {
+		t.Errorf("Shape has %d processes, want 9", app.Procs())
+	}
+	for _, p := range locsched.Policies() {
+		res, err := locsched.Run(app, p, cfg)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", p, err)
+		}
+		if res.Cycles <= 0 {
+			t.Errorf("Run(%s): no cycles", p)
+		}
+	}
+}
+
+func TestFacadeConcurrent(t *testing.T) {
+	cfg := locsched.DefaultConfig()
+	cfg.Workload.Scale = 1
+	apps, err := locsched.BuildApps(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := locsched.RunConcurrent(apps[:3], locsched.LSM, cfg)
+	if err != nil {
+		t.Fatalf("RunConcurrent: %v", err)
+	}
+	if res.Workload != "|T|=3" {
+		t.Errorf("Workload label = %q", res.Workload)
+	}
+}
+
+func TestFacadeCustomGraph(t *testing.T) {
+	// Build the paper's Figure 1 Prog1 via the public API and check its
+	// sharing matrix and schedule.
+	cfg := locsched.DefaultConfig()
+	arr, err := locsched.NewArray("A", 1, 16000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Rank() != 2 {
+		t.Errorf("Rank = %d", arr.Rank())
+	}
+	flat, err := locsched.NewArray("F", 4, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := locsched.NewGraph()
+	var arrays []*locsched.Array
+	arrays = append(arrays, flat)
+	for k := int64(0); k < 8; k++ {
+		iter := locsched.Seg("i", 0, 3000)
+		spec, err := locsched.NewProcessSpec(
+			fmt.Sprintf("P%d", k), iter, 1,
+			locsched.StreamRef(flat, locsched.ReadAccess, iter, 1, k*1000),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddProcess(&locsched.Process{
+			ID:   locsched.ProcID{Task: 0, Idx: int(k)},
+			Spec: spec,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := locsched.ComputeSharing(g)
+	if err != nil {
+		t.Fatalf("ComputeSharing: %v", err)
+	}
+	p0 := locsched.ProcID{Task: 0, Idx: 0}
+	p1 := locsched.ProcID{Task: 0, Idx: 1}
+	if got := m.Shared(p0, p1); got != 2000*4 {
+		t.Errorf("Shared(P0,P1) = %d bytes, want 8000", got)
+	}
+	asg, err := locsched.LocalitySchedule(g, m, 4)
+	if err != nil {
+		t.Fatalf("LocalitySchedule: %v", err)
+	}
+	if asg.Len() != 8 {
+		t.Errorf("assignment covers %d, want 8", asg.Len())
+	}
+	res, err := locsched.RunGraph("fig1", g, arrays, locsched.LS, cfg)
+	if err != nil {
+		t.Fatalf("RunGraph: %v", err)
+	}
+	if res.Cycles <= 0 {
+		t.Error("no cycles")
+	}
+}
+
+func TestFacadeFormatting(t *testing.T) {
+	cfg := locsched.DefaultConfig()
+	t1, err := locsched.FormatTable1(cfg.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t1, "Usonic") {
+		t.Error("Table 1 missing Usonic")
+	}
+	if !strings.Contains(locsched.FormatTable2(cfg), "200 MHz") {
+		t.Error("Table 2 missing clock")
+	}
+}
+
+func TestFacadeExtendedPolicies(t *testing.T) {
+	if len(locsched.ExtendedPolicies()) != 6 {
+		t.Error("expected 6 extended policies")
+	}
+}
+
+func TestFacadeLoadApps(t *testing.T) {
+	spec := `{"tasks": [{
+		"name": "mini",
+		"arrays": [{"name": "a", "elems": 512}],
+		"procs": [
+			{"iter_lo": 0, "iter_hi": 256, "refs": [{"array": "a", "kind": "w", "stride": 1}]},
+			{"iter_lo": 0, "iter_hi": 256, "refs": [{"array": "a", "stride": 1}], "deps": [0]}
+		]
+	}]}`
+	apps, err := locsched.LoadApps(strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("LoadApps: %v", err)
+	}
+	if len(apps) != 1 || apps[0].Procs() != 2 {
+		t.Fatalf("loaded %+v", apps)
+	}
+	res, err := locsched.RunConcurrent(apps, locsched.LS, locsched.DefaultConfig())
+	if err != nil {
+		t.Fatalf("RunConcurrent: %v", err)
+	}
+	if res.Cycles <= 0 {
+		t.Error("no cycles")
+	}
+}
+
+func TestFacadeOptimalSchedule(t *testing.T) {
+	arr, err := locsched.NewArray("A", 4, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := locsched.NewGraph()
+	for k := int64(0); k < 4; k++ {
+		iter := locsched.Seg("i", k*500, k*500+1000)
+		spec, err := locsched.NewProcessSpec(fmt.Sprintf("p%d", k), iter, 0,
+			locsched.StreamRef(arr, locsched.ReadAccess, iter, 1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddProcess(&locsched.Process{ID: locsched.ProcID{Task: 0, Idx: int(k)}, Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := locsched.ComputeSharing(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optAsg, optTotal, err := locsched.OptimalSchedule(g, m, 2)
+	if err != nil {
+		t.Fatalf("OptimalSchedule: %v", err)
+	}
+	lsAsg, err := locsched.LocalitySchedule(g, m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locsched.ScheduleSharing(lsAsg, m) > optTotal {
+		t.Error("greedy cannot beat the optimum")
+	}
+	if locsched.ScheduleSharing(optAsg, m) != optTotal {
+		t.Error("optimal assignment objective mismatch")
+	}
+}
+
+func TestFacadeAblations(t *testing.T) {
+	cfg := locsched.DefaultConfig()
+	cfg.Workload.Scale = 1
+	s, err := locsched.AblationStaticMode(cfg, 2)
+	if err != nil {
+		t.Fatalf("AblationStaticMode: %v", err)
+	}
+	if len(s.Points) != 3 {
+		t.Errorf("points = %d, want 3", len(s.Points))
+	}
+	if locsched.FormatSweep(s) == "" {
+		t.Error("empty sweep rendering")
+	}
+}
+
+func TestFacadeFiguresAndSweeps(t *testing.T) {
+	cfg := locsched.DefaultConfig()
+	cfg.Workload.Scale = 1
+	pols := []locsched.Policy{locsched.RS, locsched.LS}
+
+	f6, err := locsched.Figure6(cfg, pols)
+	if err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	if len(f6.Rows) != 6 {
+		t.Errorf("Figure6 rows = %d", len(f6.Rows))
+	}
+	if locsched.FormatTable(f6) == "" || locsched.FormatMissRates(f6) == "" {
+		t.Error("figure rendering empty")
+	}
+	var buf strings.Builder
+	if err := locsched.WriteTableJSON(&buf, f6); err != nil {
+		t.Fatalf("WriteTableJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), "Med-Im04") {
+		t.Error("JSON missing workload names")
+	}
+
+	f7, err := locsched.Figure7(cfg, pols)
+	if err != nil {
+		t.Fatalf("Figure7: %v", err)
+	}
+	if len(f7.Rows) != 6 {
+		t.Errorf("Figure7 rows = %d", len(f7.Rows))
+	}
+
+	for name, run := range map[string]func() (*locsched.Sweep, error){
+		"cache": func() (*locsched.Sweep, error) {
+			return locsched.SweepCacheSize(cfg, []int64{8 << 10}, pols)
+		},
+		"assoc": func() (*locsched.Sweep, error) {
+			return locsched.SweepAssociativity(cfg, []int{2}, pols)
+		},
+		"cores": func() (*locsched.Sweep, error) {
+			return locsched.SweepCores(cfg, []int{4}, pols)
+		},
+		"quantum": func() (*locsched.Sweep, error) {
+			return locsched.SweepQuantum(cfg, []int64{2048})
+		},
+		"penalty": func() (*locsched.Sweep, error) {
+			return locsched.SweepMissPenalty(cfg, []int64{75}, pols)
+		},
+		"replacement": func() (*locsched.Sweep, error) {
+			return locsched.AblationReplacement(cfg)
+		},
+		"indexing": func() (*locsched.Sweep, error) {
+			return locsched.AblationIndexing(cfg)
+		},
+	} {
+		s, err := run()
+		if err != nil {
+			t.Fatalf("sweep %s: %v", name, err)
+		}
+		if len(s.Points) == 0 {
+			t.Errorf("sweep %s has no points", name)
+		}
+	}
+}
+
+func ExampleRun() {
+	cfg := locsched.DefaultConfig()
+	cfg.Workload.Scale = 1
+	app, _ := locsched.BuildApp("Shape", 0, cfg.Workload)
+	rs, _ := locsched.Run(app, locsched.RS, cfg)
+	ls, _ := locsched.Run(app, locsched.LS, cfg)
+	fmt.Println(ls.Cycles < rs.Cycles)
+	// Output: true
+}
