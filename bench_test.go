@@ -87,6 +87,29 @@ func BenchmarkFigure7(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure6Table regenerates the whole of Figure 6 (24 cells)
+// through the parallel fan-out harness — the end-to-end cost of the
+// paper's first evaluation figure.
+func BenchmarkFigure6Table(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := locsched.Figure6(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure7Table regenerates the whole of Figure 7 (24 cells)
+// through the parallel fan-out harness.
+func BenchmarkFigure7Table(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := locsched.Figure7(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable1Build measures constructing the whole application suite
 // (Table 1): graphs, arrays, and dependences.
 func BenchmarkTable1Build(b *testing.B) {

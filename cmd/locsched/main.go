@@ -21,6 +21,8 @@
 //	-quantum N     RRS time slice in cycles (default 2048)
 //	-extended      include the SJF and CPL extension baselines
 //	-missrates     also print miss-rate/conflict tables for fig6 and fig7
+//	-json          emit fig6/fig7 as JSON instead of tables
+//	-par N         worker pool size for figure/sweep cells (default GOMAXPROCS)
 package main
 
 import (
@@ -38,6 +40,7 @@ func main() {
 	extended := flag.Bool("extended", false, "include SJF and CPL baselines")
 	missrates := flag.Bool("missrates", false, "also print miss-rate tables")
 	jsonOut := flag.Bool("json", false, "emit fig6/fig7 as JSON instead of tables")
+	par := flag.Int("par", 0, "worker pool size for figure/sweep cells (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -55,6 +58,9 @@ func main() {
 	}
 	if *quantum > 0 {
 		cfg.Quantum = *quantum
+	}
+	if *par > 0 {
+		cfg.Workers = *par
 	}
 	var policies []locsched.Policy
 	if *extended {

@@ -1,0 +1,3 @@
+module locsched
+
+go 1.24

@@ -161,17 +161,46 @@ func (w WritePolicy) String() string {
 
 // Cache is a set-associative cache with an optional fully-associative
 // shadow directory for miss classification.
+//
+// The hot path is allocation-free in steady state: lines live in one flat
+// arena, the cold-miss directory is a paged bitset, and the shadow LRU is
+// an intrusive list over a preallocated node arena with a paged
+// block→slot index. Power-of-two geometries under modulo indexing take a
+// mask-based set-index fast path; other Indexing choices go through the
+// pluggable index func.
 type Cache struct {
-	geom   Geometry
-	repl   Replacement
-	sets   [][]line
-	tick   int64
-	stats  Stats
-	rng    *rand.Rand
-	shadow *shadowLRU
-	seen   map[int64]bool          // blocks ever referenced, for cold-miss detection
-	index  func(block int64) int64 // block → set mapping (see Indexing)
-	write  WritePolicy
+	geom       Geometry
+	repl       Replacement
+	lines      []line // numSets × assoc, set s at lines[s*assoc : (s+1)*assoc]
+	assoc      int
+	tick       int64
+	stats      Stats
+	rng        *rand.Rand
+	seed       int64
+	shadow     *shadowLRU
+	seen       *pagedBits              // blocks ever referenced, for cold-miss detection
+	index      func(block int64) int64 // block → set mapping (see Indexing)
+	setMask    int64                   // ≥0: set = block & setMask (pow-2 modulo fast path)
+	blockShift uint                    // >0: block = addr >> blockShift (pow-2 block size)
+	write      WritePolicy
+}
+
+// blockOf returns the block number of addr via the shift fast path when
+// the block size is a power of two.
+func (c *Cache) blockOf(addr int64) int64 {
+	if c.blockShift > 0 {
+		return addr >> c.blockShift
+	}
+	return addr / c.geom.BlockSize
+}
+
+// setIndex returns the set of a block via the mask fast path when the
+// geometry allows it.
+func (c *Cache) setIndex(block int64) int64 {
+	if c.setMask >= 0 {
+		return block & c.setMask
+	}
+	return c.index(block)
 }
 
 // Option configures a Cache.
@@ -188,13 +217,16 @@ func WithReplacement(r Replacement) Option {
 func WithClassification() Option {
 	return func(c *Cache) {
 		c.shadow = newShadowLRU(c.geom.NumLines())
-		c.seen = make(map[int64]bool)
+		c.seen = &pagedBits{}
 	}
 }
 
 // WithSeed seeds the RandomRepl policy (default seed 1).
 func WithSeed(seed int64) Option {
-	return func(c *Cache) { c.rng = rand.New(rand.NewSource(seed)) }
+	return func(c *Cache) {
+		c.seed = seed
+		c.rng = rand.New(rand.NewSource(seed))
+	}
 }
 
 // WithWritePolicy selects the store policy (default WriteThrough).
@@ -211,17 +243,33 @@ func New(geom Geometry, opts ...Option) (*Cache, error) {
 	c := &Cache{
 		geom:  geom,
 		repl:  LRU,
-		sets:  make([][]line, numSets),
+		lines: make([]line, numSets*int64(geom.Assoc)),
+		assoc: geom.Assoc,
+		seed:  1,
 		rng:   rand.New(rand.NewSource(1)),
-		index: ModuloIndexing.indexFunc(numSets),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, geom.Assoc)
+	if geom.BlockSize&(geom.BlockSize-1) == 0 {
+		for bs := geom.BlockSize; bs > 1; bs >>= 1 {
+			c.blockShift++
+		}
 	}
+	c.setIndexing(ModuloIndexing)
 	for _, o := range opts {
 		o(c)
 	}
 	return c, nil
+}
+
+// setIndexing installs the block→set mapping, enabling the mask fast
+// path for power-of-two modulo geometries.
+func (c *Cache) setIndexing(ix Indexing) {
+	numSets := c.geom.NumSets()
+	c.index = ix.indexFunc(numSets)
+	if ix == ModuloIndexing && numSets&(numSets-1) == 0 {
+		c.setMask = numSets - 1
+	} else {
+		c.setMask = -1
+	}
 }
 
 // MustNew is New that panics on error.
@@ -246,11 +294,13 @@ func (c *Cache) Access(addr int64) MissClass {
 // (Hit, or the miss class; without WithClassification every miss reports
 // ColdMiss on first touch of a block and CapacityMiss otherwise).
 // wroteBack reports that the fill evicted a dirty line (WriteBack only).
+// Steady-state calls perform no heap allocation.
 func (c *Cache) AccessRW(addr int64, write bool) (class MissClass, wroteBack bool) {
 	c.tick++
 	c.stats.Accesses++
-	block := c.geom.BlockOf(addr)
-	set := c.sets[c.index(block)]
+	block := c.blockOf(addr)
+	base := c.setIndex(block) * int64(c.assoc)
+	set := c.lines[base : base+int64(c.assoc)]
 
 	shadowHit := false
 	if c.shadow != nil {
@@ -310,13 +360,13 @@ func (c *Cache) AccessRW(addr int64, write bool) (class MissClass, wroteBack boo
 	// it, first-touch misses are cold and shadow hits are conflicts.
 	class = CapacityMiss
 	if c.shadow != nil {
+		firstTouch := !c.seen.testSet(block)
 		switch {
-		case !c.seen[block]:
+		case firstTouch:
 			class = ColdMiss
 		case shadowHit:
 			class = ConflictMiss
 		}
-		c.seen[block] = true
 	}
 	switch class {
 	case ColdMiss:
@@ -332,8 +382,9 @@ func (c *Cache) AccessRW(addr int64, write bool) (class MissClass, wroteBack boo
 // Contains reports whether the block holding addr is resident (without
 // touching stats or recency).
 func (c *Cache) Contains(addr int64) bool {
-	block := c.geom.BlockOf(addr)
-	set := c.sets[c.index(block)]
+	block := c.blockOf(addr)
+	base := c.setIndex(block) * int64(c.assoc)
+	set := c.lines[base : base+int64(c.assoc)]
 	for i := range set {
 		if set[i].valid && set[i].tag == block {
 			return true
@@ -346,16 +397,31 @@ func (c *Cache) Contains(addr int64) bool {
 // (shadow state and the cold-miss directory are preserved: flushing does
 // not make data "never seen").
 func (c *Cache) Flush() {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			if c.sets[s][i].valid && c.sets[s][i].dirty {
-				c.stats.Writebacks++
-			}
-			c.sets[s][i] = line{}
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			c.stats.Writebacks++
 		}
+		c.lines[i] = line{}
 	}
 	if c.shadow != nil {
 		c.shadow.flush()
+	}
+}
+
+// Reset restores the cache to its just-built state — empty lines, zero
+// stats, reseeded replacement randomness, cleared shadow and cold-miss
+// directories — while keeping the backing storage allocated, so runners
+// can reuse one cache across simulations without reallocating.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+	c.rng = rand.New(rand.NewSource(c.seed))
+	if c.shadow != nil {
+		c.shadow.flush()
+		c.seen.clear()
 	}
 }
 
@@ -365,69 +431,166 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters, keeping cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// pagedBits is a sparse bitset over block numbers: fixed-size pages
+// allocated on first touch, so densely-used regions cost one allocation
+// per page ever and steady-state access allocates nothing.
+type pagedBits struct {
+	pages [][]uint64
+}
+
+const (
+	bitsPageShift = 15 // blocks per page (32768 bits = 4KB)
+	bitsPageWords = 1 << (bitsPageShift - 6)
+	bitsPageMask  = 1<<bitsPageShift - 1
+)
+
+// testSet sets the bit for block and reports its previous value.
+func (p *pagedBits) testSet(block int64) bool {
+	pg := int(block >> bitsPageShift)
+	if pg >= len(p.pages) {
+		p.pages = append(p.pages, make([][]uint64, pg+1-len(p.pages))...)
+	}
+	words := p.pages[pg]
+	if words == nil {
+		words = make([]uint64, bitsPageWords)
+		p.pages[pg] = words
+	}
+	off := block & bitsPageMask
+	w, bit := off>>6, uint64(1)<<(off&63)
+	old := words[w]&bit != 0
+	words[w] |= bit
+	return old
+}
+
+// clear zeroes every allocated page, keeping the storage.
+func (p *pagedBits) clear() {
+	for _, words := range p.pages {
+		for i := range words {
+			words[i] = 0
+		}
+	}
+}
+
+// pagedSlots is a sparse block→slot map with the same paging scheme;
+// absent entries read as -1.
+type pagedSlots struct {
+	pages [][]int32
+}
+
+const (
+	slotsPageShift = 12 // blocks per page (4096 × int32 = 16KB)
+	slotsPageMask  = 1<<slotsPageShift - 1
+)
+
+// get returns the slot of block, or -1.
+func (p *pagedSlots) get(block int64) int32 {
+	pg := int(block >> slotsPageShift)
+	if pg >= len(p.pages) || p.pages[pg] == nil {
+		return -1
+	}
+	return p.pages[pg][block&slotsPageMask]
+}
+
+// set records block → slot (slot -1 deletes).
+func (p *pagedSlots) set(block int64, slot int32) {
+	pg := int(block >> slotsPageShift)
+	if pg >= len(p.pages) {
+		if slot < 0 {
+			return
+		}
+		p.pages = append(p.pages, make([][]int32, pg+1-len(p.pages))...)
+	}
+	ents := p.pages[pg]
+	if ents == nil {
+		if slot < 0 {
+			return
+		}
+		ents = make([]int32, 1<<slotsPageShift)
+		for i := range ents {
+			ents[i] = -1
+		}
+		p.pages[pg] = ents
+	}
+	ents[block&slotsPageMask] = slot
+}
+
 // shadowLRU is a fully-associative LRU directory of block numbers used to
-// classify conflict vs. capacity misses (Hill & Smith's classical scheme).
+// classify conflict vs. capacity misses (Hill & Smith's classical
+// scheme). Nodes live in a preallocated arena linked intrusively by
+// index; residency lookups go through a paged block→slot index. Accesses
+// allocate nothing once the touched pages exist.
 type shadowLRU struct {
-	capacity int64
-	nodes    map[int64]*shadowNode
-	head     *shadowNode // most recent
-	tail     *shadowNode // least recent
+	nodes      []shadowNode // arena; capacity = len(nodes)
+	used       int32        // nodes handed out so far (grows to capacity, then recycles)
+	head, tail int32        // MRU / LRU, -1 when empty
+	slots      pagedSlots
 }
 
 type shadowNode struct {
 	block      int64
-	prev, next *shadowNode
+	prev, next int32
 }
 
 func newShadowLRU(capacity int64) *shadowLRU {
-	return &shadowLRU{capacity: capacity, nodes: make(map[int64]*shadowNode)}
+	return &shadowLRU{nodes: make([]shadowNode, capacity), head: -1, tail: -1}
 }
 
 // access touches block, returns whether it was resident, and makes it MRU.
 func (s *shadowLRU) access(block int64) bool {
-	if n, ok := s.nodes[block]; ok {
-		s.unlink(n)
-		s.pushFront(n)
+	if n := s.slots.get(block); n >= 0 {
+		if n != s.head {
+			s.unlink(n)
+			s.pushFront(n)
+		}
 		return true
 	}
-	n := &shadowNode{block: block}
-	s.nodes[block] = n
-	s.pushFront(n)
-	if int64(len(s.nodes)) > s.capacity {
-		evict := s.tail
-		s.unlink(evict)
-		delete(s.nodes, evict.block)
+	var n int32
+	if int(s.used) < len(s.nodes) {
+		n = s.used
+		s.used++
+	} else {
+		// Full: recycle the LRU tail.
+		n = s.tail
+		s.unlink(n)
+		s.slots.set(s.nodes[n].block, -1)
 	}
+	s.nodes[n].block = block
+	s.pushFront(n)
+	s.slots.set(block, n)
 	return false
 }
 
 func (s *shadowLRU) flush() {
-	s.nodes = make(map[int64]*shadowNode)
-	s.head, s.tail = nil, nil
+	for n := s.head; n >= 0; n = s.nodes[n].next {
+		s.slots.set(s.nodes[n].block, -1)
+	}
+	s.head, s.tail = -1, -1
+	s.used = 0
 }
 
-func (s *shadowLRU) pushFront(n *shadowNode) {
-	n.prev = nil
-	n.next = s.head
-	if s.head != nil {
-		s.head.prev = n
+func (s *shadowLRU) pushFront(n int32) {
+	s.nodes[n].prev = -1
+	s.nodes[n].next = s.head
+	if s.head >= 0 {
+		s.nodes[s.head].prev = n
 	}
 	s.head = n
-	if s.tail == nil {
+	if s.tail < 0 {
 		s.tail = n
 	}
 }
 
-func (s *shadowLRU) unlink(n *shadowNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
+func (s *shadowLRU) unlink(n int32) {
+	prev, next := s.nodes[n].prev, s.nodes[n].next
+	if prev >= 0 {
+		s.nodes[prev].next = next
 	} else {
-		s.head = n.next
+		s.head = next
 	}
-	if n.next != nil {
-		n.next.prev = n.prev
+	if next >= 0 {
+		s.nodes[next].prev = prev
 	} else {
-		s.tail = n.prev
+		s.tail = prev
 	}
-	n.prev, n.next = nil, nil
+	s.nodes[n].prev, s.nodes[n].next = -1, -1
 }

@@ -54,7 +54,7 @@ func (ix Indexing) indexFunc(numSets int64) func(block int64) int64 {
 
 // WithIndexing selects the set-index hash (default ModuloIndexing).
 func WithIndexing(ix Indexing) Option {
-	return func(c *Cache) { c.index = ix.indexFunc(c.geom.NumSets()) }
+	return func(c *Cache) { c.setIndexing(ix) }
 }
 
 // largestPrimeAtMost returns the largest prime <= n (2 for n < 2).

@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"locsched/internal/cache"
+	"locsched/internal/layout"
+	"locsched/internal/sched"
+	"locsched/internal/sharing"
+	"locsched/internal/taskgraph"
+)
+
+// The scheduling-analysis cache. Sharing matrices, LS assignments, and
+// LSM mappings are pure functions of the EPG (and, for LSM, the base
+// layout and cache geometry); experiments re-run the same EPG under many
+// policies, parameter points, and benchmark iterations, so recomputing
+// the analysis per run dominated cells whose simulation is fast. Entries
+// are keyed structurally — the ordered (process ID, spec pointer) list
+// plus the edge lists — and each entry retains its graph, so a key's
+// spec pointers can never alias a later, reallocated spec.
+//
+// The cache is bounded; when full it is cleared wholesale (analysis is
+// cheap to recompute; the cap only guards unbounded growth when callers
+// churn through fresh graphs, as construction-heavy benchmarks do).
+var analysisCache = struct {
+	sync.Mutex
+	matrix map[string]*matrixEntry
+	ls     map[string]*lsEntry
+	lsm    map[string]*lsmEntry
+}{
+	matrix: make(map[string]*matrixEntry),
+	ls:     make(map[string]*lsEntry),
+	lsm:    make(map[string]*lsmEntry),
+}
+
+const maxAnalysisEntries = 64
+
+type matrixEntry struct {
+	g *taskgraph.Graph // retained: keeps the key's spec pointers unique
+	m *sharing.Matrix
+}
+
+type lsEntry struct {
+	g   *taskgraph.Graph
+	asg *sched.Assignment
+}
+
+type lsmEntry struct {
+	g       *taskgraph.Graph
+	base    layout.AddressMap
+	mapping *sched.MappingResult
+}
+
+// graphKey fingerprints the EPG structurally: every process (ID and spec
+// identity) with its successor list, in deterministic order. Two graphs
+// with equal keys have identical scheduling inputs even when the Graph
+// values themselves are distinct (workload.Combine builds a fresh graph
+// per call from shared specs).
+func graphKey(g *taskgraph.Graph) string {
+	var b strings.Builder
+	b.Grow(32 * g.Len())
+	for _, id := range g.ProcIDs() {
+		fmt.Fprintf(&b, "%d.%d:%p", id.Task, id.Idx, g.Process(id).Spec)
+		for _, s := range g.Succs(id) {
+			fmt.Fprintf(&b, ">%d.%d", s.Task, s.Idx)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// layoutKey extends a graph key with the identity of a base layout and
+// cache geometry — everything the LSM mapping phase depends on beyond
+// the EPG.
+func layoutKey(gk string, cores int, base layout.AddressMap, geom cache.Geometry) string {
+	var b strings.Builder
+	b.Grow(len(gk) + 32*len(base.Arrays()))
+	b.WriteString(gk)
+	fmt.Fprintf(&b, "|cores=%d|geom=%d,%d,%d|", cores, geom.Size, geom.BlockSize, geom.Assoc)
+	for _, arr := range base.Arrays() {
+		fmt.Fprintf(&b, "%p@%d;", arr, base.Addr(arr, 0))
+	}
+	return b.String()
+}
+
+// cachedMatrix returns the (possibly memoized) sharing matrix of g.
+func cachedMatrix(g *taskgraph.Graph, gk string) (*sharing.Matrix, error) {
+	analysisCache.Lock()
+	e, ok := analysisCache.matrix[gk]
+	analysisCache.Unlock()
+	if ok {
+		return e.m, nil
+	}
+	m, err := sharing.ComputeMatrix(g)
+	if err != nil {
+		return nil, err
+	}
+	analysisCache.Lock()
+	if len(analysisCache.matrix) >= maxAnalysisEntries {
+		analysisCache.matrix = make(map[string]*matrixEntry)
+	}
+	analysisCache.matrix[gk] = &matrixEntry{g: g, m: m}
+	analysisCache.Unlock()
+	return m, nil
+}
+
+// cachedLS returns the (possibly memoized) LS assignment for g on the
+// given core count.
+func cachedLS(g *taskgraph.Graph, cores int) (*sched.Assignment, error) {
+	gk := graphKey(g)
+	key := fmt.Sprintf("%s|cores=%d", gk, cores)
+	analysisCache.Lock()
+	e, ok := analysisCache.ls[key]
+	analysisCache.Unlock()
+	if ok {
+		return e.asg, nil
+	}
+	m, err := cachedMatrix(g, gk)
+	if err != nil {
+		return nil, err
+	}
+	asg, err := sched.LocalitySchedule(g, m, cores)
+	if err != nil {
+		return nil, err
+	}
+	analysisCache.Lock()
+	if len(analysisCache.ls) >= maxAnalysisEntries {
+		analysisCache.ls = make(map[string]*lsEntry)
+	}
+	analysisCache.ls[key] = &lsEntry{g: g, asg: asg}
+	analysisCache.Unlock()
+	return asg, nil
+}
+
+// cachedLSM returns the (possibly memoized) LSM mapping — assignment plus
+// re-laid-out address map — for g on the given machine.
+func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache.Geometry) (*sched.MappingResult, error) {
+	gk := graphKey(g)
+	key := layoutKey(gk, cores, base, geom)
+	analysisCache.Lock()
+	e, ok := analysisCache.lsm[key]
+	analysisCache.Unlock()
+	if ok {
+		return e.mapping, nil
+	}
+	m, err := cachedMatrix(g, gk)
+	if err != nil {
+		return nil, err
+	}
+	_, mapping, err := sched.NewLSM(g, m, cores, base, geom, nil)
+	if err != nil {
+		return nil, err
+	}
+	analysisCache.Lock()
+	if len(analysisCache.lsm) >= maxAnalysisEntries {
+		analysisCache.lsm = make(map[string]*lsmEntry)
+	}
+	analysisCache.lsm[key] = &lsmEntry{g: g, base: base, mapping: mapping}
+	analysisCache.Unlock()
+	return mapping, nil
+}

@@ -18,7 +18,6 @@ import (
 	"locsched/internal/mpsoc"
 	"locsched/internal/prog"
 	"locsched/internal/sched"
-	"locsched/internal/sharing"
 	"locsched/internal/taskgraph"
 	"locsched/internal/workload"
 )
@@ -49,6 +48,12 @@ type Config struct {
 	Quantum  int64 // RRS time slice in cycles
 	Seed     int64 // RS randomization seed
 	Align    int64 // base layout packing alignment in bytes
+
+	// Workers bounds the worker pool that figure and sweep harnesses fan
+	// independent cells out on. Each cell owns its caches and cursors, so
+	// cells run concurrently with deterministic, cell-ordered results.
+	// 0 means GOMAXPROCS; 1 forces sequential execution.
+	Workers int
 }
 
 // DefaultConfig uses the paper's Table 2 machine, workload scale 2, a
@@ -138,25 +143,17 @@ func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Poli
 		}
 		disp = d
 	case LS:
-		m, err := sharing.ComputeMatrix(g)
+		asg, err := cachedLS(g, cfg.Machine.Cores)
 		if err != nil {
 			return nil, err
 		}
-		d, _, err := sched.NewLS(g, m, cfg.Machine.Cores)
-		if err != nil {
-			return nil, err
-		}
-		disp = d
+		disp = sched.NewStatic("LS", asg)
 	case LSM:
-		m, err := sharing.ComputeMatrix(g)
+		mapping, err := cachedLSM(g, cfg.Machine.Cores, base, cfg.Machine.Cache)
 		if err != nil {
 			return nil, err
 		}
-		d, mapping, err := sched.NewLSM(g, m, cfg.Machine.Cores, base, cfg.Machine.Cache, nil)
-		if err != nil {
-			return nil, err
-		}
-		disp = d
+		disp = sched.NewStatic("LSM", mapping.Assignment)
 		am = mapping.Layout
 		relaid = len(mapping.Banks)
 	default:

@@ -20,8 +20,51 @@ type Table struct {
 	Rows     []Row
 }
 
+// runGrid fans a rows × policies cell grid out on the worker pool.
+// run(row, policy) must be side-effect-free; results land at
+// [row*len(policies) + policyIndex] regardless of completion order, so
+// assembled figures and sweeps are deterministic.
+func runGrid(workers, rows int, policies []Policy,
+	run func(row int, p Policy) (*RunResult, error)) ([]map[Policy]*RunResult, error) {
+
+	cells := make([]*RunResult, rows*len(policies))
+	err := runCells(workers, len(cells), func(i int) error {
+		r, err := run(i/len(policies), policies[i%len(policies)])
+		if err != nil {
+			return err
+		}
+		cells[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[Policy]*RunResult, rows)
+	for i := range out {
+		out[i] = make(map[Policy]*RunResult, len(policies))
+		for j, p := range policies {
+			out[i][p] = cells[i*len(policies)+j]
+		}
+	}
+	return out, nil
+}
+
+// assembleTable runs the grid and collects results into ordered rows.
+func assembleTable(t *Table, labels []string, policies []Policy, workers int,
+	run func(row int, p Policy) (*RunResult, error)) (*Table, error) {
+
+	rows, err := runGrid(workers, len(labels), policies, run)
+	if err != nil {
+		return nil, err
+	}
+	for i, label := range labels {
+		t.Rows = append(t.Rows, Row{Label: label, Results: rows[i]})
+	}
+	return t, nil
+}
+
 // Figure6 reruns the paper's Figure 6: each application in isolation
-// under every policy.
+// under every policy. Cells run concurrently on the Config.Workers pool.
 func Figure6(cfg Config, policies []Policy) (*Table, error) {
 	if len(policies) == 0 {
 		policies = Policies()
@@ -30,23 +73,23 @@ func Figure6(cfg Config, policies []Policy) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{Title: "Figure 6: execution times, applications in isolation", Policies: policies}
-	for _, app := range apps {
-		row := Row{Label: app.Name, Results: make(map[Policy]*RunResult, len(policies))}
-		for _, p := range policies {
-			r, err := RunApp(app, p, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("figure 6, %s/%s: %w", app.Name, p, err)
-			}
-			row.Results[p] = r
-		}
-		t.Rows = append(t.Rows, row)
+	labels := make([]string, len(apps))
+	for i, app := range apps {
+		labels[i] = app.Name
 	}
-	return t, nil
+	t := &Table{Title: "Figure 6: execution times, applications in isolation", Policies: policies}
+	return assembleTable(t, labels, policies, cfg.Workers, func(row int, p Policy) (*RunResult, error) {
+		r, err := RunApp(apps[row], p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure 6, %s/%s: %w", apps[row].Name, p, err)
+		}
+		return r, nil
+	})
 }
 
 // Figure7 reruns the paper's Figure 7: cumulative concurrent mixes
 // |T| = 1..6 (Med-Im04; then +MxM; then +Radar; …) under every policy.
+// Cells run concurrently on the Config.Workers pool.
 func Figure7(cfg Config, policies []Policy) (*Table, error) {
 	if len(policies) == 0 {
 		policies = Policies()
@@ -55,19 +98,18 @@ func Figure7(cfg Config, policies []Policy) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{Title: "Figure 7: execution times, concurrent workloads", Policies: policies}
-	for n := 1; n <= len(apps); n++ {
-		row := Row{Label: fmt.Sprintf("|T|=%d", n), Results: make(map[Policy]*RunResult, len(policies))}
-		for _, p := range policies {
-			r, err := RunMix(apps[:n], p, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("figure 7, |T|=%d/%s: %w", n, p, err)
-			}
-			row.Results[p] = r
-		}
-		t.Rows = append(t.Rows, row)
+	labels := make([]string, len(apps))
+	for i := range apps {
+		labels[i] = fmt.Sprintf("|T|=%d", i+1)
 	}
-	return t, nil
+	t := &Table{Title: "Figure 7: execution times, concurrent workloads", Policies: policies}
+	return assembleTable(t, labels, policies, cfg.Workers, func(row int, p Policy) (*RunResult, error) {
+		r, err := RunMix(apps[:row+1], p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("figure 7, |T|=%d/%s: %w", row+1, p, err)
+		}
+		return r, nil
+	})
 }
 
 // SweepPoint is one configuration of a sensitivity sweep with the LS/RS
@@ -85,22 +127,34 @@ type Sweep struct {
 }
 
 // sweepMix runs the full six-application mix for each machine variant.
+// All (point, policy) cells fan out on the worker pool of the first
+// config (the sweep variants share the caller's Workers setting).
 func sweepMix(title string, cfgs []Config, labels []string, policies []Policy) (*Sweep, error) {
-	s := &Sweep{Title: title}
+	perPoint := make([][]*workload.App, len(cfgs))
 	for i, cfg := range cfgs {
 		apps, err := workload.BuildAll(cfg.Workload)
 		if err != nil {
 			return nil, err
 		}
-		pt := SweepPoint{Label: labels[i], Results: make(map[Policy]*RunResult, len(policies))}
-		for _, p := range policies {
-			r, err := RunMix(apps, p, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s, %s/%s: %w", title, labels[i], p, err)
-			}
-			pt.Results[p] = r
+		perPoint[i] = apps
+	}
+	workers := 0
+	if len(cfgs) > 0 {
+		workers = cfgs[0].Workers
+	}
+	points, err := runGrid(workers, len(cfgs), policies, func(pt int, p Policy) (*RunResult, error) {
+		r, err := RunMix(perPoint[pt], p, cfgs[pt])
+		if err != nil {
+			return nil, fmt.Errorf("%s, %s/%s: %w", title, labels[pt], p, err)
 		}
-		s.Points = append(s.Points, pt)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{Title: title}
+	for i, label := range labels {
+		s.Points = append(s.Points, SweepPoint{Label: label, Results: points[i]})
 	}
 	return s, nil
 }

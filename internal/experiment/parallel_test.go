@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCellsOrderAndErrors: results land by cell index and the first
+// failing cell (in cell order, not completion order) is reported.
+func TestRunCellsOrderAndErrors(t *testing.T) {
+	const n = 17
+	got := make([]int, n)
+	if err := runCells(4, n, func(i int) error {
+		got[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatalf("runCells: %v", err)
+	}
+	for i := range got {
+		if got[i] != i*i {
+			t.Errorf("cell %d = %d, want %d", i, got[i], i*i)
+		}
+	}
+
+	// A failing cell stops the grid and is reported (later cells may be
+	// skipped once a failure is observed, so only one cell fails here to
+	// keep the expectation deterministic).
+	err := runCells(4, n, func(i int) error {
+		if i == 5 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "cell 5 failed" {
+		t.Errorf("error = %v, want cell 5's failure", err)
+	}
+}
+
+// TestRunCellsBoundsWorkers: no more than the requested number of cells
+// run at once.
+func TestRunCellsBoundsWorkers(t *testing.T) {
+	var active, peak atomic.Int64
+	err := runCells(3, 24, func(i int) error {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer active.Add(-1)
+		if cur > 3 {
+			return errors.New("worker bound exceeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d > 3", peak.Load())
+	}
+}
+
+// TestFigure6ParallelDeterministic: the fanned-out harness produces
+// results identical to the sequential one, cell for cell.
+func TestFigure6ParallelDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+
+	cfg.Workers = 1
+	seq, err := Figure6(cfg, nil)
+	if err != nil {
+		t.Fatalf("sequential Figure6: %v", err)
+	}
+	cfg.Workers = 4
+	par, err := Figure6(cfg, nil)
+	if err != nil {
+		t.Fatalf("parallel Figure6: %v", err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel Figure6 differs from sequential run")
+	}
+}
+
+// TestFigure7ParallelDeterministic: same property for the concurrent
+// mixes (which exercise the shared analysis cache under contention).
+func TestFigure7ParallelDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+
+	cfg.Workers = 1
+	seq, err := Figure7(cfg, nil)
+	if err != nil {
+		t.Fatalf("sequential Figure7: %v", err)
+	}
+	cfg.Workers = 4
+	par, err := Figure7(cfg, nil)
+	if err != nil {
+		t.Fatalf("parallel Figure7: %v", err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Error("parallel Figure7 differs from sequential run")
+	}
+}

@@ -37,6 +37,43 @@ type AddressMap interface {
 	Size() int64
 }
 
+// AddrFormula is a closed-form description of Addr(arr, ·) for one array:
+//
+//	off     = linear × Elem
+//	Page=0:  addr = Base + off                          (linear layouts)
+//	Page>0:  addr = Base + (off/(Page/2))·Page + off mod (Page/2) + Bank
+//
+// i.e. either a plain base-plus-offset mapping or the paper's interleaved
+// half-page transform. Formulas are comparable values, so two maps that
+// place an array identically produce equal formulas — the property the
+// trace compiler's cross-run stream cache keys on.
+type AddrFormula struct {
+	Base int64
+	Elem int64
+	Page int64 // 0 = linear; otherwise the cache-page period of the interleave
+	Bank int64 // 0 or Page/2 when Page > 0
+}
+
+// Addr evaluates the formula at a linear element index.
+func (f AddrFormula) Addr(linear int64) int64 {
+	off := linear * f.Elem
+	if f.Page == 0 {
+		return f.Base + off
+	}
+	half := f.Page / 2
+	return f.Base + (off/half)*f.Page + off%half + f.Bank
+}
+
+// AddrCompiler is an optional AddressMap fast path: maps that can state
+// their per-array addressing in closed form let the trace compiler
+// resolve each reference once per compilation (and share compiled
+// streams across runs) instead of dispatching Addr per access.
+type AddrCompiler interface {
+	// CompileAddr returns the formula for arr, or ok=false when the
+	// array's addressing is not expressible as an AddrFormula.
+	CompileAddr(arr *prog.Array) (AddrFormula, bool)
+}
+
 // Packed lays arrays out contiguously in the order given, each aligned to
 // Align bytes. This models the paper's "original memory layout"
 // (Figure 4a).
@@ -95,6 +132,15 @@ func (p *Packed) Addr(arr *prog.Array, linear int64) int64 {
 func (p *Packed) Base(arr *prog.Array) (int64, bool) {
 	b, ok := p.base[arr]
 	return b, ok
+}
+
+// CompileAddr implements AddrCompiler: packed arrays are base + off.
+func (p *Packed) CompileAddr(arr *prog.Array) (AddrFormula, bool) {
+	base, ok := p.base[arr]
+	if !ok {
+		return AddrFormula{}, false
+	}
+	return AddrFormula{Base: base, Elem: arr.Elem}, true
 }
 
 // Arrays implements AddressMap.
@@ -173,6 +219,20 @@ func (r *Relayouted) Addr(arr *prog.Array, linear int64) int64 {
 	q := off / half
 	rem := off % half
 	return r.newBase[arr] + q*r.pageC + rem + b
+}
+
+// CompileAddr implements AddrCompiler: re-laid-out arrays use the
+// half-page interleave from their fresh region; others fall through to
+// the base layout's formula when it has one.
+func (r *Relayouted) CompileAddr(arr *prog.Array) (AddrFormula, bool) {
+	b, ok := r.banks[arr]
+	if !ok {
+		if bc, ok := r.base.(AddrCompiler); ok {
+			return bc.CompileAddr(arr)
+		}
+		return AddrFormula{}, false
+	}
+	return AddrFormula{Base: r.newBase[arr], Elem: arr.Elem, Page: r.pageC, Bank: b}, true
 }
 
 // Arrays implements AddressMap.

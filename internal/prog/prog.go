@@ -153,7 +153,8 @@ type ProcessSpec struct {
 	IterSpace       *presburger.BasicSet
 	Refs            []Ref
 	ComputePerIter  int64 // extra CPU cycles per iteration
-	iterations      int64 // cached, -1 until computed
+	iterations      int64 // computed at construction; see iterationsErr
+	iterationsErr   error // non-nil when the space is uncountable
 	iterationsValid bool
 }
 
@@ -178,12 +179,20 @@ func NewProcessSpec(name string, iter *presburger.BasicSet, computePerIter int64
 				name, i, r.Map.InSpace(), iter.Space())
 		}
 	}
-	return &ProcessSpec{
+	p := &ProcessSpec{
 		Name:           name,
 		IterSpace:      iter,
 		Refs:           append([]Ref(nil), refs...),
 		ComputePerIter: computePerIter,
-	}, nil
+	}
+	// Count the iteration space eagerly: specs are shared read-only by
+	// concurrent experiment cells, so no lazily-written state may remain.
+	p.iterations, p.iterationsErr = iter.Card()
+	if p.iterationsErr != nil {
+		p.iterationsErr = fmt.Errorf("prog: process %s: %w", name, p.iterationsErr)
+	}
+	p.iterationsValid = true
+	return p, nil
 }
 
 // MustProcessSpec is NewProcessSpec that panics on error.
@@ -195,18 +204,21 @@ func MustProcessSpec(name string, iter *presburger.BasicSet, computePerIter int6
 	return p
 }
 
-// Iterations returns the exact number of iteration points (cached).
+// Iterations returns the exact number of iteration points (computed once
+// at construction; safe for concurrent use).
 func (p *ProcessSpec) Iterations() (int64, error) {
-	if p.iterationsValid {
-		return p.iterations, nil
+	if !p.iterationsValid {
+		// Zero-value or hand-rolled spec: fall back to counting directly.
+		n, err := p.IterSpace.Card()
+		if err != nil {
+			return 0, fmt.Errorf("prog: process %s: %w", p.Name, err)
+		}
+		return n, nil
 	}
-	n, err := p.IterSpace.Card()
-	if err != nil {
-		return 0, fmt.Errorf("prog: process %s: %w", p.Name, err)
+	if p.iterationsErr != nil {
+		return 0, p.iterationsErr
 	}
-	p.iterations = n
-	p.iterationsValid = true
-	return n, nil
+	return p.iterations, nil
 }
 
 // Accesses returns the total number of memory references the process

@@ -1,8 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"locsched/internal/cache"
 	"locsched/internal/layout"
@@ -122,12 +123,16 @@ func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assign
 	}
 
 	// Main loop: the least-loaded core picks the eligible process with
-	// maximum sharing with its previously scheduled process.
+	// maximum sharing with its previously scheduled process. The order and
+	// candidate scratch slices are allocated once and reused across
+	// iterations (the loop runs once per process).
 	remaining := len(inPool)
+	order := make([]int, cores)
+	candidates := make([]taskgraph.ProcID, 0, remaining)
 	for remaining > 0 {
 		progress := false
-		for _, k := range coresByLoad(load) {
-			q, ok := pickNext(g, m, rank, asg.PerCore[k], inPool, scheduled)
+		for _, k := range coresByLoad(load, order) {
+			q, ok := pickNext(g, m, rank, asg.PerCore[k], inPool, scheduled, &candidates)
 			if !ok {
 				continue
 			}
@@ -146,18 +151,17 @@ func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assign
 	return asg, nil
 }
 
-// coresByLoad returns core indices ordered by ascending accumulated load,
-// ties toward the lower index.
-func coresByLoad(load []int64) []int {
-	idx := make([]int, len(load))
+// coresByLoad fills idx with core indices ordered by ascending
+// accumulated load, ties toward the lower index.
+func coresByLoad(load []int64, idx []int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if load[idx[a]] != load[idx[b]] {
-			return load[idx[a]] < load[idx[b]]
+	slices.SortFunc(idx, func(a, b int) int {
+		if c := cmp.Compare(load[a], load[b]); c != 0 {
+			return c
 		}
-		return idx[a] < idx[b]
+		return cmp.Compare(a, b)
 	})
 	return idx
 }
@@ -165,9 +169,10 @@ func coresByLoad(load []int64) []int {
 // pickNext selects the unscheduled process all of whose predecessors are
 // scheduled, maximizing sharing with the core's last process. Sharing
 // ties break toward the deepest remaining chain, then the smallest ID.
+// scratch is a reusable candidate buffer (see sortedIDs).
 func pickNext(g *taskgraph.Graph, m *sharing.Matrix, rank map[taskgraph.ProcID]int,
 	coreList []taskgraph.ProcID, pool map[taskgraph.ProcID]bool,
-	scheduled map[taskgraph.ProcID]bool) (taskgraph.ProcID, bool) {
+	scheduled map[taskgraph.ProcID]bool, scratch *[]taskgraph.ProcID) (taskgraph.ProcID, bool) {
 
 	var prev taskgraph.ProcID
 	hasPrev := len(coreList) > 0
@@ -178,7 +183,7 @@ func pickNext(g *taskgraph.Graph, m *sharing.Matrix, rank map[taskgraph.ProcID]i
 	var bestShare int64 = -1
 	bestRank := -1
 	found := false
-	for _, q := range sortedIDs(pool) {
+	for _, q := range sortedIDs(pool, scratch) {
 		eligible := true
 		for _, p := range g.Preds(q) {
 			if !scheduled[p] {
@@ -200,12 +205,21 @@ func pickNext(g *taskgraph.Graph, m *sharing.Matrix, rank map[taskgraph.ProcID]i
 	return best, found
 }
 
-func sortedIDs(pool map[taskgraph.ProcID]bool) []taskgraph.ProcID {
-	out := make([]taskgraph.ProcID, 0, len(pool))
+func sortedIDs(pool map[taskgraph.ProcID]bool, scratch *[]taskgraph.ProcID) []taskgraph.ProcID {
+	out := (*scratch)[:0]
 	for id := range pool {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	slices.SortFunc(out, func(a, b taskgraph.ProcID) int {
+		if a.Less(b) {
+			return -1
+		}
+		if b.Less(a) {
+			return 1
+		}
+		return 0
+	})
+	*scratch = out
 	return out
 }
 

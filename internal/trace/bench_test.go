@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"testing"
+
+	"locsched/internal/layout"
+	"locsched/internal/prog"
+)
+
+func benchSpec() (*prog.ProcessSpec, layout.AddressMap) {
+	arr := prog.MustArray("A", 4, 1<<20)
+	iter := prog.Seg("i", 0, 4096)
+	spec := prog.MustProcessSpec("p", iter, 1,
+		prog.StreamRef(arr, prog.Read, iter, 1, 0),
+		prog.StreamRef(arr, prog.Write, iter, 2, 64),
+	)
+	return spec, layout.MustPack(32, arr)
+}
+
+// TestCursorNextZeroAlloc asserts the acceptance criterion directly:
+// steady-state Cursor.Next allocates nothing.
+func TestCursorNextZeroAlloc(t *testing.T) {
+	spec, am := benchSpec()
+	cur, err := NewGenerator(am).NewCursor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10000, func() {
+		if _, ok := cur.Next(); !ok {
+			cur.Reset()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Cursor.Next allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// BenchmarkTraceCompile measures compiling one (spec, address map) pair
+// into a flat stream, bypassing the generator and package caches.
+func BenchmarkTraceCompile(b *testing.B) {
+	spec, am := benchSpec()
+	var s *Stream
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = compile(spec, am)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Len()), "accesses")
+}
+
+// BenchmarkTraceCompileCached measures the cross-run path: the stream is
+// already in the package cache, so a fresh generator only pays the
+// signature lookup.
+func BenchmarkTraceCompileCached(b *testing.B) {
+	spec, am := benchSpec()
+	if _, err := NewGenerator(am).Stream(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewGenerator(am).Stream(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCursorNext measures per-access stream consumption.
+func BenchmarkCursorNext(b *testing.B) {
+	spec, am := benchSpec()
+	cur, err := NewGenerator(am).NewCursor(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := cur.Next(); !ok {
+			cur.Reset()
+		}
+	}
+}

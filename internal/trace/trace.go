@@ -3,10 +3,23 @@
 // execute. Cursors are resumable so that preemptive schedulers (the
 // paper's RRS baseline) can stop a process mid-stream and continue it
 // later, possibly on a different core.
+//
+// Streams are compiled: each (ProcessSpec, AddressMap) pair is walked
+// once — affine maps applied, subscripts linearized, addresses resolved —
+// into a flat structure-of-arrays form (addresses plus packed flag
+// bytes). Cursors are then plain indices into the compiled stream, so the
+// simulator's per-access cost is two slice loads instead of an affine
+// Apply, a row-major linearization, and an interface dispatch. Compiled
+// streams are shared by all cursors of a generator, and — when the
+// address map states its per-array addressing in closed form
+// (layout.AddrCompiler) — across generators and runs through a bounded
+// package-level cache, so repeated experiments pay compilation once.
 package trace
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"locsched/internal/layout"
 	"locsched/internal/prog"
@@ -19,26 +32,278 @@ type Access struct {
 	NewIter bool // first access of an iteration: charge compute cycles
 }
 
-// Generator produces cursors over process specs under a fixed address
-// map. Iteration-point lists are materialized once per spec and shared by
-// all cursors (so RRS re-runs and repeated experiments stay cheap).
+// Flag bits of Stream.Flags.
+const (
+	// FlagWrite marks a store reference.
+	FlagWrite byte = 1 << 0
+	// FlagNewIter marks the first access of an iteration point.
+	FlagNewIter byte = 1 << 1
+)
+
+// Stream is a compiled address trace in structure-of-arrays form: the
+// i-th access touches Addrs[i] with the properties packed in Flags[i].
+// Streams are immutable after compilation and safe to share.
+type Stream struct {
+	Addrs []int64
+	Flags []byte
+}
+
+// Len returns the number of accesses in the stream.
+func (s *Stream) Len() int { return len(s.Addrs) }
+
+// streamKey identifies a compiled stream across generators: the process
+// plus the exact closed-form addressing of every reference. Entries
+// retain their spec pointer, so a key can never alias a different
+// (collected and reallocated) spec.
+type streamKey struct {
+	spec *prog.ProcessSpec
+	sig  string
+}
+
+// streamCache shares compiled streams across runs. Bounded by entry
+// count and by total resident bytes (streams are fully materialized
+// traces, so dense layout sweeps could otherwise pin gigabytes); once
+// either bound is hit the cache is cleared wholesale — streams are cheap
+// to recompile, the bounds only guard unbounded growth under churn.
+var streamCache = struct {
+	sync.Mutex
+	m     map[streamKey]*Stream
+	bytes int64
+}{m: make(map[streamKey]*Stream)}
+
+const (
+	maxCachedStreams     = 256
+	maxCachedStreamBytes = 256 << 20
+)
+
+// memBytes approximates the stream's resident size.
+func (s *Stream) memBytes() int64 { return int64(len(s.Addrs)) * 9 }
+
+// addrSignature returns a string uniquely describing the addressing of
+// every reference of the spec under am, or ok=false when am cannot state
+// it in closed form.
+func addrSignature(spec *prog.ProcessSpec, am layout.AddressMap) (string, bool) {
+	ac, ok := am.(layout.AddrCompiler)
+	if !ok {
+		return "", false
+	}
+	buf := make([]byte, 0, 16*len(spec.Refs))
+	for _, ref := range spec.Refs {
+		f, ok := ac.CompileAddr(ref.Array)
+		if !ok {
+			return "", false
+		}
+		buf = strconv.AppendInt(buf, f.Base, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, f.Elem, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, f.Page, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, f.Bank, 10)
+		buf = append(buf, ';')
+	}
+	return string(buf), true
+}
+
+// Generator compiles and caches streams over process specs under a fixed
+// address map. Compiled streams are shared by all cursors (so RRS re-runs
+// and repeated experiments stay cheap).
 type Generator struct {
-	am     layout.AddressMap
-	points map[*prog.ProcessSpec][][]int64
+	am      layout.AddressMap
+	streams map[*prog.ProcessSpec]*Stream
 }
 
 // NewGenerator builds a generator over the address map.
 func NewGenerator(am layout.AddressMap) *Generator {
-	return &Generator{am: am, points: make(map[*prog.ProcessSpec][][]int64)}
+	return &Generator{am: am, streams: make(map[*prog.ProcessSpec]*Stream)}
 }
 
 // AddressMap returns the generator's address map.
 func (g *Generator) AddressMap() layout.AddressMap { return g.am }
 
-func (g *Generator) pointsOf(spec *prog.ProcessSpec) ([][]int64, error) {
-	if pts, ok := g.points[spec]; ok {
-		return pts, nil
+// Stream returns the compiled stream for the spec, compiling it on first
+// use.
+func (g *Generator) Stream(spec *prog.ProcessSpec) (*Stream, error) {
+	if s, ok := g.streams[spec]; ok {
+		return s, nil
 	}
+	sig, keyed := addrSignature(spec, g.am)
+	if keyed {
+		streamCache.Lock()
+		s, ok := streamCache.m[streamKey{spec, sig}]
+		streamCache.Unlock()
+		if ok {
+			g.streams[spec] = s
+			return s, nil
+		}
+	}
+	s, err := compile(spec, g.am)
+	if err != nil {
+		return nil, err
+	}
+	g.streams[spec] = s
+	if keyed {
+		key := streamKey{spec, sig}
+		streamCache.Lock()
+		if prior, ok := streamCache.m[key]; ok {
+			// A concurrent generator compiled the same stream first: adopt
+			// it so the byte accounting stays exact.
+			s = prior
+		} else {
+			if len(streamCache.m) >= maxCachedStreams || streamCache.bytes+s.memBytes() > maxCachedStreamBytes {
+				streamCache.m = make(map[streamKey]*Stream)
+				streamCache.bytes = 0
+			}
+			streamCache.m[key] = s
+			streamCache.bytes += s.memBytes()
+		}
+		streamCache.Unlock()
+		g.streams[spec] = s
+	}
+	return s, nil
+}
+
+// compile walks the spec's iteration space once and materializes the full
+// access stream under the address map.
+func compile(spec *prog.ProcessSpec, am layout.AddressMap) (*Stream, error) {
+	total, err := spec.Accesses()
+	if err != nil {
+		return nil, fmt.Errorf("trace: process %s: %w", spec.Name, err)
+	}
+	nrefs := len(spec.Refs)
+	s := &Stream{
+		Addrs: make([]int64, 0, total),
+		Flags: make([]byte, 0, total),
+	}
+
+	// Resolve each reference's address function once: the closed-form
+	// formula when the map provides one, the interface call otherwise.
+	type refFn struct {
+		ref  prog.Ref
+		flag byte
+		f    layout.AddrFormula
+		fast bool
+	}
+	fns := make([]refFn, nrefs)
+	ac, hasAC := am.(layout.AddrCompiler)
+	for i, ref := range spec.Refs {
+		fns[i].ref = ref
+		if ref.Kind == prog.Write {
+			fns[i].flag = FlagWrite
+		}
+		if i == 0 {
+			fns[i].flag |= FlagNewIter
+		}
+		if hasAC {
+			if f, ok := ac.CompileAddr(ref.Array); ok {
+				fns[i].f, fns[i].fast = f, true
+			}
+		}
+	}
+
+	idxBuf := make([]int64, 0, 4)
+	err = spec.IterSpace.Points(func(pt []int64) bool {
+		for i := range fns {
+			fn := &fns[i]
+			idxBuf = fn.ref.Map.Apply(pt, idxBuf)
+			lin := fn.ref.Array.LinearIndex(idxBuf)
+			var addr int64
+			if fn.fast {
+				addr = fn.f.Addr(lin)
+			} else {
+				addr = am.Addr(fn.ref.Array, lin)
+			}
+			s.Addrs = append(s.Addrs, addr)
+			s.Flags = append(s.Flags, fn.flag)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: process %s: %w", spec.Name, err)
+	}
+	return s, nil
+}
+
+// Cursor walks a process's compiled access stream: for each iteration
+// point in lexicographic order, each reference in program order.
+type Cursor struct {
+	spec *prog.ProcessSpec
+	s    *Stream
+	pos  int
+}
+
+// NewCursor returns a cursor positioned at the start of the process.
+func (g *Generator) NewCursor(spec *prog.ProcessSpec) (*Cursor, error) {
+	s, err := g.Stream(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{spec: spec, s: s}, nil
+}
+
+// Spec returns the process being traced.
+func (c *Cursor) Spec() *prog.ProcessSpec { return c.spec }
+
+// Next returns the next access; ok is false at end of stream.
+func (c *Cursor) Next() (Access, bool) {
+	if c.pos >= len(c.s.Addrs) {
+		return Access{}, false
+	}
+	f := c.s.Flags[c.pos]
+	acc := Access{
+		Addr:    c.s.Addrs[c.pos],
+		Write:   f&FlagWrite != 0,
+		NewIter: f&FlagNewIter != 0,
+	}
+	c.pos++
+	return acc, true
+}
+
+// StreamAt returns the compiled stream slices and the cursor's current
+// position, for batched execution: callers consume addrs[pos:] directly
+// and commit progress with Skip.
+func (c *Cursor) StreamAt() (addrs []int64, flags []byte, pos int) {
+	return c.s.Addrs, c.s.Flags, c.pos
+}
+
+// Skip advances the cursor by n accesses (clamped to the stream end).
+func (c *Cursor) Skip(n int) {
+	c.pos += n
+	if c.pos > len(c.s.Addrs) {
+		c.pos = len(c.s.Addrs)
+	}
+}
+
+// Done reports whether the stream is exhausted.
+func (c *Cursor) Done() bool { return c.pos >= len(c.s.Addrs) }
+
+// Remaining returns the number of accesses left in the stream.
+func (c *Cursor) Remaining() int64 { return int64(len(c.s.Addrs) - c.pos) }
+
+// Total returns the total number of accesses in the full stream.
+func (c *Cursor) Total() int64 { return int64(len(c.s.Addrs)) }
+
+// Reset rewinds the cursor to the start of the stream.
+func (c *Cursor) Reset() { c.pos = 0 }
+
+// InterpCursor is the reference implementation the compiled stream is
+// checked against: it interprets the spec access by access — affine map
+// application, row-major linearization, AddressMap dispatch — exactly as
+// the pre-compilation simulator did. It exists for differential testing
+// and for address maps whose cost model makes materialization
+// undesirable; the simulator itself always runs compiled streams.
+type InterpCursor struct {
+	am     layout.AddressMap
+	spec   *prog.ProcessSpec
+	points [][]int64
+	ptIdx  int
+	refIdx int
+	idxBuf []int64
+}
+
+// NewInterpCursor returns an interpreting cursor at the start of the
+// process's stream.
+func (g *Generator) NewInterpCursor(spec *prog.ProcessSpec) (*InterpCursor, error) {
 	n, err := spec.Iterations()
 	if err != nil {
 		return nil, err
@@ -51,35 +316,11 @@ func (g *Generator) pointsOf(spec *prog.ProcessSpec) ([][]int64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: process %s: %w", spec.Name, err)
 	}
-	g.points[spec] = pts
-	return pts, nil
+	return &InterpCursor{am: g.am, spec: spec, points: pts}, nil
 }
-
-// Cursor walks a process's access stream: for each iteration point in
-// lexicographic order, each reference in program order.
-type Cursor struct {
-	gen    *Generator
-	spec   *prog.ProcessSpec
-	points [][]int64
-	ptIdx  int
-	refIdx int
-	idxBuf []int64
-}
-
-// NewCursor returns a cursor positioned at the start of the process.
-func (g *Generator) NewCursor(spec *prog.ProcessSpec) (*Cursor, error) {
-	pts, err := g.pointsOf(spec)
-	if err != nil {
-		return nil, err
-	}
-	return &Cursor{gen: g, spec: spec, points: pts}, nil
-}
-
-// Spec returns the process being traced.
-func (c *Cursor) Spec() *prog.ProcessSpec { return c.spec }
 
 // Next returns the next access; ok is false at end of stream.
-func (c *Cursor) Next() (Access, bool) {
+func (c *InterpCursor) Next() (Access, bool) {
 	if c.ptIdx >= len(c.points) {
 		return Access{}, false
 	}
@@ -88,7 +329,7 @@ func (c *Cursor) Next() (Access, bool) {
 	c.idxBuf = ref.Map.Apply(pt, c.idxBuf)
 	lin := ref.Array.LinearIndex(c.idxBuf)
 	acc := Access{
-		Addr:    c.gen.am.Addr(ref.Array, lin),
+		Addr:    c.am.Addr(ref.Array, lin),
 		Write:   ref.Kind == prog.Write,
 		NewIter: c.refIdx == 0,
 	}
@@ -101,10 +342,10 @@ func (c *Cursor) Next() (Access, bool) {
 }
 
 // Done reports whether the stream is exhausted.
-func (c *Cursor) Done() bool { return c.ptIdx >= len(c.points) }
+func (c *InterpCursor) Done() bool { return c.ptIdx >= len(c.points) }
 
 // Remaining returns the number of accesses left in the stream.
-func (c *Cursor) Remaining() int64 {
+func (c *InterpCursor) Remaining() int64 {
 	if c.Done() {
 		return 0
 	}
@@ -112,12 +353,7 @@ func (c *Cursor) Remaining() int64 {
 	return full - int64(c.refIdx)
 }
 
-// Total returns the total number of accesses in the full stream.
-func (c *Cursor) Total() int64 {
-	return int64(len(c.points)) * int64(len(c.spec.Refs))
-}
-
 // Reset rewinds the cursor to the start of the stream.
-func (c *Cursor) Reset() {
+func (c *InterpCursor) Reset() {
 	c.ptIdx, c.refIdx = 0, 0
 }

@@ -130,7 +130,7 @@ func TestCursorReset(t *testing.T) {
 	}
 }
 
-func TestGeneratorMemoizesPoints(t *testing.T) {
+func TestGeneratorMemoizesStreams(t *testing.T) {
 	g, spec, _ := testSetup(t)
 	c1, err := g.NewCursor(spec)
 	if err != nil {
@@ -140,16 +140,16 @@ func TestGeneratorMemoizesPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Both cursors share the same underlying point list.
-	if &c1.points[0] == nil || &c2.points[0] == nil {
-		t.Fatal("points missing")
+	// Both cursors share the same compiled stream.
+	if c1.s == nil || c2.s == nil {
+		t.Fatal("stream missing")
 	}
-	if len(c1.points) != len(c2.points) {
-		t.Error("cursors should share point lists")
+	if c1.s != c2.s {
+		t.Error("cursors should share the compiled stream")
 	}
 	// Advancing one must not affect the other.
 	c1.Next()
-	if c2.ptIdx != 0 || c2.refIdx != 0 {
+	if c2.pos != 0 {
 		t.Error("cursors must be independent")
 	}
 }
