@@ -110,6 +110,107 @@ func BenchmarkFigure7Table(b *testing.B) {
 	}
 }
 
+// BenchmarkFigure7XL measures the cells of the large-scale scenario
+// ladder — generated multi-program mixes at 32, 64, and 128 cores —
+// under both the strided-RLE engine (default) and the flat-stream
+// engine (the PR 1 baseline), so `-bench Figure7XL` directly measures
+// the coalescing speedup on the suite it was built for. Apps are built
+// and a warm-up run performed outside the timer: what is measured is
+// the steady-state simulation cost of a cell (scheduling analyses and
+// compiled streams are memoized across runs in both engines alike).
+func BenchmarkFigure7XL(b *testing.B) {
+	for _, pt := range locsched.DefaultXLPoints() {
+		for _, pol := range locsched.Policies() {
+			for _, engine := range []string{"rle", "flat"} {
+				b.Run(fmt.Sprintf("%dc-T%d/%s/%s", pt.Cores, pt.Tasks, pol, engine), func(b *testing.B) {
+					cfg := benchConfig()
+					cfg.Machine.Cores = pt.Cores
+					cfg.Machine.FlatStreams = engine == "flat"
+					apps, err := locsched.BuildMixApps(pt.Tasks, cfg.Workload)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var last *locsched.RunResult
+					if last, err = locsched.RunConcurrent(apps, pol, cfg); err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						last, err = locsched.RunConcurrent(apps, pol, cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					reportRun(b, last)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7XLTable regenerates the whole default XL ladder end to
+// end — workload generation, analyses, and simulation — through the
+// parallel fan-out harness (the `locsched fig7xl` wall-clock).
+func BenchmarkFigure7XLTable(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := locsched.Figure7XL(cfg, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepXLGrid regenerates a dense 2×2×2 corner of the XL
+// parameter grid (size × assoc × miss penalty) end to end.
+func BenchmarkSweepXLGrid(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, err := locsched.SweepXL(cfg,
+			[]int64{4 << 10, 16 << 10}, []int{1, 4}, []int64{25, 150},
+			[]locsched.Policy{locsched.RS, locsched.LS, locsched.LSM})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamMemory reports the resident compiled-stream bytes of
+// the whole Table 1 suite in both encodings (flat vs strided RLE) under
+// the packed base layout — the ≥4× reduction criterion, measured.
+func BenchmarkStreamMemory(b *testing.B) {
+	cfg := benchConfig()
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flatBytes, rleBytes int64
+	for i := 0; i < b.N; i++ {
+		flatBytes, rleBytes = 0, 0
+		for _, app := range apps {
+			base, err := layout.Pack(cfg.Align, app.Arrays...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := trace.NewGenerator(base)
+			for _, p := range app.Graph.Processes() {
+				flat, err := gen.Stream(p.Spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rle, err := gen.RLE(p.Spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				flatBytes += flat.MemBytes()
+				rleBytes += rle.MemBytes()
+			}
+		}
+	}
+	b.ReportMetric(float64(flatBytes), "flat_bytes")
+	b.ReportMetric(float64(rleBytes), "rle_bytes")
+	b.ReportMetric(float64(flatBytes)/float64(rleBytes), "reduction×")
+}
+
 // BenchmarkTable1Build measures constructing the whole application suite
 // (Table 1): graphs, arrays, and dependences.
 func BenchmarkTable1Build(b *testing.B) {

@@ -13,6 +13,12 @@
 //	fig7     concurrent workloads |T|=1..6 (paper Figure 7)
 //	sweep    parameter-sensitivity sweeps (the "consistent savings" claim)
 //	all      everything above, in order
+//	fig7xl   large-scale concurrent mixes on 32–128-core machines
+//	sweepxl  dense cache-size × associativity × miss-penalty grid
+//
+// The two XL commands go beyond the paper (which stops at 8 cores): they
+// are the evaluations the compiled-trace engines were built to afford,
+// and are deliberately not part of `all`.
 //
 // Flags:
 //
@@ -20,15 +26,22 @@
 //	-cores N       number of cores (default 8)
 //	-quantum N     RRS time slice in cycles (default 2048)
 //	-extended      include the SJF and CPL extension baselines
-//	-missrates     also print miss-rate/conflict tables for fig6 and fig7
-//	-json          emit fig6/fig7 as JSON instead of tables
+//	-missrates     also print miss-rate/conflict tables for fig6, fig7, fig7xl
+//	-json          emit fig6/fig7/fig7xl as JSON instead of tables
 //	-par N         worker pool size for figure/sweep cells (default GOMAXPROCS)
+//	-flat          use the flat-stream engine instead of strided-RLE (A/B timing)
+//	-xlpoints S    fig7xl ladder as cores:tasks pairs (default "32:8,64:16,128:32")
+//	-xlsizes S     sweepxl cache sizes in KB (default "4,8,16,32")
+//	-xlassoc S     sweepxl associativities (default "1,2,4,8")
+//	-xlmiss S      sweepxl miss penalties in cycles (default "25,75,150,300")
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"locsched"
 )
@@ -39,8 +52,13 @@ func main() {
 	quantum := flag.Int64("quantum", 0, "RRS quantum in cycles (0 = default)")
 	extended := flag.Bool("extended", false, "include SJF and CPL baselines")
 	missrates := flag.Bool("missrates", false, "also print miss-rate tables")
-	jsonOut := flag.Bool("json", false, "emit fig6/fig7 as JSON instead of tables")
+	jsonOut := flag.Bool("json", false, "emit fig6/fig7/fig7xl as JSON instead of tables")
 	par := flag.Int("par", 0, "worker pool size for figure/sweep cells (0 = GOMAXPROCS, 1 = sequential)")
+	flat := flag.Bool("flat", false, "use the flat-stream engine instead of strided-RLE (for A/B timing; results are identical)")
+	xlPoints := flag.String("xlpoints", "32:8,64:16,128:32", "fig7xl ladder as comma-separated cores:tasks pairs")
+	xlSizes := flag.String("xlsizes", "4,8,16,32", "sweepxl cache sizes in KB, comma-separated")
+	xlAssoc := flag.String("xlassoc", "1,2,4,8", "sweepxl associativities, comma-separated")
+	xlMiss := flag.String("xlmiss", "25,75,150,300", "sweepxl miss penalties in cycles, comma-separated")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -62,6 +80,7 @@ func main() {
 	if *par > 0 {
 		cfg.Workers = *par
 	}
+	cfg.Machine.FlatStreams = *flat
 	var policies []locsched.Policy
 	if *extended {
 		policies = locsched.ExtendedPolicies()
@@ -103,6 +122,43 @@ func main() {
 			if *missrates {
 				fmt.Println(locsched.FormatMissRates(t))
 			}
+		case "fig7xl":
+			points, err := parseXLPoints(*xlPoints)
+			if err != nil {
+				return err
+			}
+			t, err := locsched.Figure7XL(cfg, points, policies)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return locsched.WriteTableJSON(os.Stdout, t)
+			}
+			fmt.Println(locsched.FormatTable(t))
+			if *missrates {
+				fmt.Println(locsched.FormatMissRates(t))
+			}
+		case "sweepxl":
+			sizes, err := parseInt64List(*xlSizes)
+			if err != nil {
+				return fmt.Errorf("-xlsizes: %w", err)
+			}
+			for i := range sizes {
+				sizes[i] *= 1024
+			}
+			assocs, err := parseIntList(*xlAssoc)
+			if err != nil {
+				return fmt.Errorf("-xlassoc: %w", err)
+			}
+			penalties, err := parseInt64List(*xlMiss)
+			if err != nil {
+				return fmt.Errorf("-xlmiss: %w", err)
+			}
+			s, err := locsched.SweepXL(cfg, sizes, assocs, penalties, policies)
+			if err != nil {
+				return err
+			}
+			fmt.Println(locsched.FormatSweep(s))
 		case "sweep":
 			if err := sweeps(cfg); err != nil {
 				return err
@@ -183,10 +239,71 @@ func ablations(cfg locsched.Config) error {
 	return nil
 }
 
+// parseIntList parses a comma-separated list of integers.
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// parseInt64List parses a comma-separated list of 64-bit integers.
+func parseInt64List(s string) ([]int64, error) {
+	vs, err := parseIntList(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+// parseXLPoints parses "cores:tasks,cores:tasks,..." ladders.
+func parseXLPoints(s string) ([]locsched.XLPoint, error) {
+	var out []locsched.XLPoint
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		cs, ts, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("-xlpoints: %q is not cores:tasks", part)
+		}
+		cores, err := strconv.Atoi(cs)
+		if err != nil {
+			return nil, fmt.Errorf("-xlpoints: bad core count %q", cs)
+		}
+		tasks, err := strconv.Atoi(ts)
+		if err != nil {
+			return nil, fmt.Errorf("-xlpoints: bad task count %q", ts)
+		}
+		out = append(out, locsched.XLPoint{Cores: cores, Tasks: tasks})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-xlpoints: empty ladder")
+	}
+	return out, nil
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: locsched [flags] <command>
 
-commands: table1 table2 fig6 fig7 sweep ablate all
+commands: table1 table2 fig6 fig7 sweep ablate all fig7xl sweepxl
 
 flags:
 `)

@@ -169,20 +169,21 @@ func (w WritePolicy) String() string {
 // mask-based set-index fast path; other Indexing choices go through the
 // pluggable index func.
 type Cache struct {
-	geom       Geometry
-	repl       Replacement
-	lines      []line // numSets × assoc, set s at lines[s*assoc : (s+1)*assoc]
-	assoc      int
-	tick       int64
-	stats      Stats
-	rng        *rand.Rand
-	seed       int64
-	shadow     *shadowLRU
-	seen       *pagedBits              // blocks ever referenced, for cold-miss detection
-	index      func(block int64) int64 // block → set mapping (see Indexing)
-	setMask    int64                   // ≥0: set = block & setMask (pow-2 modulo fast path)
-	blockShift uint                    // >0: block = addr >> blockShift (pow-2 block size)
-	write      WritePolicy
+	geom        Geometry
+	repl        Replacement
+	lines       []line // numSets × assoc, set s at lines[s*assoc : (s+1)*assoc]
+	assoc       int
+	tick        int64
+	stats       Stats
+	rng         *rand.Rand
+	seed        int64
+	shadow      *shadowLRU
+	seen        *pagedBits              // blocks ever referenced, for cold-miss detection
+	index       func(block int64) int64 // block → set mapping (see Indexing)
+	setMask     int64                   // ≥0: set = block & setMask (pow-2 modulo fast path)
+	blockShift  uint                    // >0: block = addr >> blockShift (pow-2 block size)
+	write       WritePolicy
+	lineScratch []int64 // reused by TryAccessHitIters
 }
 
 // blockOf returns the block number of addr via the shift fast path when
@@ -225,7 +226,7 @@ func WithClassification() Option {
 func WithSeed(seed int64) Option {
 	return func(c *Cache) {
 		c.seed = seed
-		c.rng = rand.New(rand.NewSource(seed))
+		c.rng = nil
 	}
 }
 
@@ -246,7 +247,6 @@ func New(geom Geometry, opts ...Option) (*Cache, error) {
 		lines: make([]line, numSets*int64(geom.Assoc)),
 		assoc: geom.Assoc,
 		seed:  1,
-		rng:   rand.New(rand.NewSource(1)),
 	}
 	if geom.BlockSize&(geom.BlockSize-1) == 0 {
 		for bs := geom.BlockSize; bs > 1; bs >>= 1 {
@@ -342,6 +342,12 @@ func (c *Cache) AccessRW(addr int64, write bool) (class MissClass, wroteBack boo
 			}
 		}
 		if victim < 0 {
+			if c.rng == nil {
+				// Seeding a math/rand source is costly and only RandomRepl
+				// ever draws from it, so construction and Reset defer it to
+				// the first full-set random eviction.
+				c.rng = rand.New(rand.NewSource(c.seed))
+			}
 			victim = c.rng.Intn(len(set))
 		}
 	}
@@ -418,7 +424,7 @@ func (c *Cache) Reset() {
 	}
 	c.tick = 0
 	c.stats = Stats{}
-	c.rng = rand.New(rand.NewSource(c.seed))
+	c.rng = nil // lazily reseeded on first random eviction
 	if c.shadow != nil {
 		c.shadow.flush()
 		c.seen.clear()
@@ -534,6 +540,10 @@ type shadowNode struct {
 func newShadowLRU(capacity int64) *shadowLRU {
 	return &shadowLRU{nodes: make([]shadowNode, capacity), head: -1, tail: -1}
 }
+
+// resident reports whether block is in the directory, without touching
+// recency.
+func (s *shadowLRU) resident(block int64) bool { return s.slots.get(block) >= 0 }
 
 // access touches block, returns whether it was resident, and makes it MRU.
 func (s *shadowLRU) access(block int64) bool {

@@ -85,8 +85,12 @@ func layoutKey(gk string, cores int, base layout.AddressMap, geom cache.Geometry
 	return b.String()
 }
 
-// cachedMatrix returns the (possibly memoized) sharing matrix of g.
+// cachedMatrix returns the (possibly memoized) sharing matrix of g. The
+// graph is frozen first: a cached analysis is valid only for the exact
+// structure it was keyed on, so post-construction mutation is rejected
+// by taskgraph instead of silently invalidating entries.
 func cachedMatrix(g *taskgraph.Graph, gk string) (*sharing.Matrix, error) {
+	g.Freeze()
 	analysisCache.Lock()
 	e, ok := analysisCache.matrix[gk]
 	analysisCache.Unlock()
@@ -109,6 +113,7 @@ func cachedMatrix(g *taskgraph.Graph, gk string) (*sharing.Matrix, error) {
 // cachedLS returns the (possibly memoized) LS assignment for g on the
 // given core count.
 func cachedLS(g *taskgraph.Graph, cores int) (*sched.Assignment, error) {
+	g.Freeze()
 	gk := graphKey(g)
 	key := fmt.Sprintf("%s|cores=%d", gk, cores)
 	analysisCache.Lock()
@@ -137,6 +142,7 @@ func cachedLS(g *taskgraph.Graph, cores int) (*sched.Assignment, error) {
 // cachedLSM returns the (possibly memoized) LSM mapping — assignment plus
 // re-laid-out address map — for g on the given machine.
 func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache.Geometry) (*sched.MappingResult, error) {
+	g.Freeze()
 	gk := graphKey(g)
 	key := layoutKey(gk, cores, base, geom)
 	analysisCache.Lock()

@@ -108,12 +108,16 @@ func (r *RunResult) MissRate() float64 {
 	return float64(r.Misses) / float64(total)
 }
 
-// RunGraph simulates one EPG under one policy.
+// RunGraph simulates one EPG under one policy. The base layout is
+// memoized per (alignment, array list) and the per-run machinery
+// (per-core caches, trace cursors) is drawn from a pool keyed on the
+// exact (graph, layout, machine) triple, so repeated cells — policies,
+// sweep points, benchmark iterations — pay construction once.
 func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Policy, cfg Config) (*RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	base, err := layout.Pack(cfg.Align, arrays...)
+	base, err := cachedPack(cfg.Align, arrays)
 	if err != nil {
 		return nil, err
 	}
@@ -160,10 +164,15 @@ func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Poli
 		return nil, fmt.Errorf("experiment: unknown policy %q", policy)
 	}
 
-	res, err := mpsoc.Run(g, disp, am, cfg.Machine)
+	runner, err := takeRunner(g, am, cfg.Machine)
 	if err != nil {
 		return nil, err
 	}
+	res, err := runner.Run(disp)
+	if err != nil {
+		return nil, err
+	}
+	putRunner(g, am, cfg.Machine, runner)
 	out := &RunResult{
 		Workload:    name,
 		Policy:      policy,
@@ -187,8 +196,11 @@ func RunApp(app *workload.App, policy Policy, cfg Config) (*RunResult, error) {
 }
 
 // RunMix simulates several applications concurrently (Figure 7 cells).
+// The merged EPG is memoized per app set, so every cell over the same
+// mix shares one graph — and with it the scheduling-analysis cache
+// entries and the runner pool.
 func RunMix(apps []*workload.App, policy Policy, cfg Config) (*RunResult, error) {
-	epg, arrays, err := workload.Combine(apps...)
+	epg, arrays, err := cachedCombine(apps)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,52 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"locsched/internal/prog"
+	"locsched/internal/taskgraph"
+	"locsched/internal/workload"
+)
+
+// TestAnalysisFreezesGraph: running a graph through the experiment
+// harness freezes it, so the structural analysis cache cannot be
+// invalidated by post-run mutation — the mutation fails instead.
+func TestAnalysisFreezesGraph(t *testing.T) {
+	app, err := workload.Build("Shape", 0, workload.Params{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workload builders freeze on construction already.
+	if !app.Graph.Frozen() {
+		t.Error("workload.Build returned an unfrozen graph")
+	}
+
+	// A hand-built graph is frozen by its first analysis.
+	arr := prog.MustArray("fz.A", 4, 4096)
+	iter := prog.Seg("i", 0, 64)
+	g := taskgraph.New()
+	mk := func(idx int) *taskgraph.Process {
+		spec := prog.MustProcessSpec("fz.p"+string(rune('0'+idx)), iter, 1,
+			prog.StreamRef(arr, prog.Read, iter, 1, int64(idx*64)))
+		return &taskgraph.Process{ID: taskgraph.ProcID{Task: 9, Idx: idx}, Spec: spec}
+	}
+	p0, p1 := mk(0), mk(1)
+	if err := g.AddProcess(p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddProcess(p1); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workload = workload.Params{Scale: 1}
+	if _, err := RunGraph("freeze-probe", g, []*prog.Array{arr}, LS, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Frozen() {
+		t.Error("graph not frozen after an LS run (analysis was cached against it)")
+	}
+	if err := g.AddDep(p0.ID, p1.ID); err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Errorf("post-analysis mutation: err = %v, want frozen error", err)
+	}
+}

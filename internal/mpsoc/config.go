@@ -42,6 +42,13 @@ type Config struct {
 	// write buffer).
 	WritePolicy      cache.WritePolicy
 	WritebackPenalty int64
+
+	// FlatStreams forces the fully-materialized compiled-stream execution
+	// path instead of the default strided-RLE block-coalesced one. The two
+	// engines are bit-identical (enforced by differential tests); the flag
+	// exists for differential testing and before/after benchmarking, and
+	// for exotic traces where the RLE segments degenerate to length 1.
+	FlatStreams bool
 }
 
 // DefaultConfig returns the paper's Table 2 parameters: 8 processors,

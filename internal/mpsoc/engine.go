@@ -19,12 +19,28 @@ import (
 //     another process completes.
 //   - Preempted(id) hands back a process whose quantum expired.
 //
-// Dispatchers must be deterministic given their seed.
+// Dispatchers must be deterministic given their seed, may only hand out
+// processes previously announced via Ready or Preempted, and a failed
+// Pick must be side-effect-free (the engine elides offers it can prove
+// would fail).
 type Dispatcher interface {
 	Name() string
 	Ready(id taskgraph.ProcID)
 	Pick(core int, now int64) (id taskgraph.ProcID, quantum int64, ok bool)
 	Preempted(id taskgraph.ProcID)
+}
+
+// CoreAgnostic is an optional Dispatcher capability: implementations
+// return true to declare that Pick's success never depends on the core
+// argument (global-queue and work-stealing policies). The engine then
+// wakes only as many idle cores as it has announced-but-unpicked
+// processes instead of re-offering every idle core on every completion —
+// at 128 cores the all-but-one failed offers otherwise dominate
+// preemptive schedules. Which core receives which process is unchanged:
+// idle cores are woken in index order either way, and the elided offers
+// are exactly those that would have failed.
+type CoreAgnostic interface {
+	CoreAgnostic() bool
 }
 
 // CoreStats aggregates one core's activity.
@@ -58,6 +74,28 @@ type Result struct {
 	Timeline    []Segment // populated when Config.RecordTimeline is set
 }
 
+// procCursor is one process's playback state under whichever engine the
+// runner was built for: exactly one field is set.
+type procCursor struct {
+	flat *trace.Cursor
+	rle  *trace.RLECursor
+}
+
+func (pc procCursor) done() bool {
+	if pc.flat != nil {
+		return pc.flat.Done()
+	}
+	return pc.rle.Done()
+}
+
+func (pc procCursor) reset() {
+	if pc.flat != nil {
+		pc.flat.Reset()
+	} else {
+		pc.rle.Reset()
+	}
+}
+
 type evKind int
 
 const (
@@ -78,19 +116,29 @@ type event struct {
 // measured path free of setup cost and lets repeated experiments (and
 // benchmarks) reuse the compiled streams and cache arenas.
 //
+// By default processes execute as strided run-length-encoded streams
+// (runSegmentRLE); Config.FlatStreams selects the fully-materialized
+// flat-stream path instead. The two are bit-identical.
+//
 // A Runner is not safe for concurrent use; independent experiment cells
 // build their own.
 type Runner struct {
 	g       *taskgraph.Graph
 	cfg     Config
-	cursors map[taskgraph.ProcID]*trace.Cursor
+	cursors map[taskgraph.ProcID]procCursor
 	caches  []*cache.Cache
 	runs    int
+	// scratch for runSegmentRLE's iteration fast-forward, sized to the
+	// widest reference group.
+	blockScratch []int64
+	writeScratch []bool
 }
 
 // NewRunner validates the configuration and precompiles everything a run
 // needs: the trace streams of every process under the address map, and
-// the per-core caches.
+// the per-core caches. The graph is frozen: analyses and compiled
+// streams are cached against its structure, so post-construction
+// mutation is rejected from here on.
 func NewRunner(g *taskgraph.Graph, am layout.AddressMap, cfg Config) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -101,15 +149,26 @@ func NewRunner(g *taskgraph.Graph, am layout.AddressMap, cfg Config) (*Runner, e
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	g.Freeze()
 
 	gen := trace.NewGenerator(am)
-	cursors := make(map[taskgraph.ProcID]*trace.Cursor, g.Len())
+	cursors := make(map[taskgraph.ProcID]procCursor, g.Len())
 	for _, p := range g.Processes() {
-		cur, err := gen.NewCursor(p.Spec)
-		if err != nil {
-			return nil, err
+		var pc procCursor
+		if cfg.FlatStreams {
+			cur, err := gen.NewCursor(p.Spec)
+			if err != nil {
+				return nil, err
+			}
+			pc.flat = cur
+		} else {
+			cur, err := gen.NewRLECursor(p.Spec)
+			if err != nil {
+				return nil, err
+			}
+			pc.rle = cur
 		}
-		cursors[p.ID] = cur
+		cursors[p.ID] = pc
 	}
 
 	caches := make([]*cache.Cache, cfg.Cores)
@@ -129,7 +188,17 @@ func NewRunner(g *taskgraph.Graph, am layout.AddressMap, cfg Config) (*Runner, e
 		}
 		caches[i] = c
 	}
-	return &Runner{g: g, cfg: cfg, cursors: cursors, caches: caches}, nil
+	maxRefs := 0
+	for _, p := range g.Processes() {
+		if n := len(p.Spec.Refs); n > maxRefs {
+			maxRefs = n
+		}
+	}
+	return &Runner{
+		g: g, cfg: cfg, cursors: cursors, caches: caches,
+		blockScratch: make([]int64, maxRefs),
+		writeScratch: make([]bool, maxRefs),
+	}, nil
 }
 
 // Run simulates the EPG under the dispatcher. The dispatcher must be
@@ -138,8 +207,8 @@ func NewRunner(g *taskgraph.Graph, am layout.AddressMap, cfg Config) (*Runner, e
 func (r *Runner) Run(d Dispatcher) (*Result, error) {
 	g, cfg := r.g, r.cfg
 	if r.runs > 0 {
-		for _, cur := range r.cursors {
-			cur.Reset()
+		for _, pc := range r.cursors {
+			pc.reset()
 		}
 		for _, c := range r.caches {
 			c.Reset()
@@ -147,12 +216,21 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 	}
 	r.runs++
 
+	// avail counts processes announced to the dispatcher (Ready or
+	// Preempted) and not yet successfully picked: an upper bound on how
+	// many idle-core offers can succeed, and zero means none can.
+	avail := 0
 	pendingPreds := make(map[taskgraph.ProcID]int, g.Len())
 	for _, id := range g.ProcIDs() {
 		pendingPreds[id] = len(g.Preds(id))
 	}
 	for _, id := range g.Roots() {
 		d.Ready(id)
+		avail++
+	}
+	coreAgnostic := false
+	if ca, ok := d.(CoreAgnostic); ok {
+		coreAgnostic = ca.CoreAgnostic()
 	}
 
 	res := &Result{
@@ -166,24 +244,51 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 		events.Push(0, event{kind: evFree, core: c})
 	}
 	idle := make([]bool, cfg.Cores)
-	anyIdle := false
+	idleCount := 0
 	busyCores := 0
 	remaining := g.Len()
 	var makespan int64
 
-	// wakeIdle requeues every idle core (in index order, keeping runs
-	// deterministic) without allocating.
+	// wakeIdle requeues idle cores (in index order, keeping runs
+	// deterministic) without allocating. Offers that provably fail are
+	// elided — at 128 cores the all-but-one failed offers otherwise
+	// dominate preemptive schedules — but only at "quiet" timestamps:
+	// when another event is pending at this same cycle (FIFO order pops
+	// every same-cycle completion before any same-cycle offer), that
+	// event may ready more work before the offers pop, so all idle cores
+	// must be offered to keep the offer sequence — and with it the
+	// core↔process pairing — exactly as if nothing were elided. At a
+	// quiet timestamp nothing can inject work before the offers pop, so
+	// offers beyond the announced-work count avail fail for certain:
+	// none are pushed when avail is zero, and core-agnostic dispatchers
+	// (whose Pick success never depends on the core) need at most avail
+	// offers.
 	wakeIdle := func(now int64) {
-		if !anyIdle {
+		if idleCount == 0 {
 			return
 		}
+		quiet := true
+		if t, _, ok := events.Peek(); ok && t == now {
+			quiet = false
+		}
+		if quiet && avail <= 0 {
+			return
+		}
+		budget := idleCount
+		if quiet && coreAgnostic && avail < budget {
+			budget = avail
+		}
 		for c := range idle {
+			if budget == 0 {
+				break
+			}
 			if idle[c] {
 				idle[c] = false
+				idleCount--
 				events.Push(now, event{kind: evFree, core: c})
+				budget--
 			}
 		}
-		anyIdle = false
 	}
 
 	for remaining > 0 {
@@ -205,11 +310,13 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 					pendingPreds[succ]--
 					if pendingPreds[succ] == 0 {
 						d.Ready(succ)
+						avail++
 					}
 				}
 			} else {
 				res.Preemptions++
 				d.Preempted(ev.id)
+				avail++
 			}
 			// Newly ready or requeued work may unblock idle cores, and
 			// this core itself is free again.
@@ -222,14 +329,15 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 			id, quantum, picked := d.Pick(ev.core, now)
 			if !picked {
 				idle[ev.core] = true
-				anyIdle = true
+				idleCount++
 				continue
 			}
-			cur, exists := r.cursors[id]
+			avail--
+			pc, exists := r.cursors[id]
 			if !exists {
 				return nil, fmt.Errorf("mpsoc: policy %s picked unknown process %v", d.Name(), id)
 			}
-			if cur.Done() {
+			if pc.done() {
 				return nil, fmt.Errorf("mpsoc: policy %s re-picked completed process %v", d.Name(), id)
 			}
 			penalty := cfg.MissPenalty
@@ -237,7 +345,13 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 				penalty = int64(float64(cfg.MissPenalty) * (1 + cfg.BusFactor*float64(busyCores)))
 			}
 			busyCores++
-			cycles, completed := runSegment(cur, r.caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum)
+			var cycles int64
+			var completed bool
+			if pc.flat != nil {
+				cycles, completed = runSegment(pc.flat, r.caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum)
+			} else {
+				cycles, completed = r.runSegmentRLE(pc.rle, r.caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum)
+			}
 			st := &res.PerCore[ev.core]
 			st.BusyCycles += cycles
 			st.Segments++

@@ -1,0 +1,219 @@
+package mpsoc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"locsched/internal/cache"
+	"locsched/internal/layout"
+	"locsched/internal/prog"
+	"locsched/internal/sched"
+	"locsched/internal/sharing"
+	"locsched/internal/taskgraph"
+	"locsched/internal/workload"
+)
+
+// rleDiffMaps returns the two layouts every app is checked under: the
+// packed base layout and the LSM-derived relayout (falling back to an
+// explicit alternating-bank relayout when the mapping phase moves
+// nothing, so the interleaved address formula is always exercised).
+func rleDiffMaps(t *testing.T, app *workload.App, geom cache.Geometry) map[string]layout.AddressMap {
+	t.Helper()
+	base, err := layout.Pack(geom.BlockSize, app.Arrays...)
+	if err != nil {
+		t.Fatalf("%s: Pack: %v", app.Name, err)
+	}
+	m, err := sharing.ComputeMatrix(app.Graph)
+	if err != nil {
+		t.Fatalf("%s: ComputeMatrix: %v", app.Name, err)
+	}
+	_, mapping, err := sched.NewLSM(app.Graph, m, 8, base, geom, nil)
+	if err != nil {
+		t.Fatalf("%s: NewLSM: %v", app.Name, err)
+	}
+	rl := mapping.Layout
+	if len(mapping.Banks) == 0 {
+		banks := make(map[*prog.Array]int64, len(app.Arrays))
+		for i, arr := range app.Arrays {
+			banks[arr] = int64(i%2) * (geom.PageSize() / 2)
+		}
+		rl, err = layout.ApplyRelayout(base, geom, banks)
+		if err != nil {
+			t.Fatalf("%s: ApplyRelayout: %v", app.Name, err)
+		}
+	}
+	return map[string]layout.AddressMap{"Packed": base, "Relayouted": rl}
+}
+
+// rleDiffConfigs returns the machine variants the engines are compared
+// under: the Table 2 default, a quantum-stressing small-cache variant,
+// and a write-back variant (dirty-eviction cycles must also match).
+func rleDiffConfigs() map[string]Config {
+	def := DefaultConfig()
+
+	small := DefaultConfig()
+	small.Cache = cache.Geometry{Size: 1024, BlockSize: 32, Assoc: 2}
+	small.Cores = 2
+
+	wb := DefaultConfig()
+	wb.WritePolicy = cache.WriteBack
+	wb.WritebackPenalty = 40
+
+	return map[string]Config{"Table2": def, "SmallCache": small, "WriteBack": wb}
+}
+
+// rleDiffDispatchers returns fresh dispatcher constructors. The quantum
+// 193 is deliberately small and odd: it forces preemptions mid-iteration
+// (and mid-run resumes on other cores), the hardest case for run
+// splitting.
+func rleDiffDispatchers(t *testing.T) map[string]func() Dispatcher {
+	t.Helper()
+	return map[string]func() Dispatcher{
+		"RS": func() Dispatcher { return sched.NewRandom(7) },
+		"RRS-193": func() Dispatcher {
+			d, err := sched.NewRoundRobin(193)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"RRS-4096": func() Dispatcher {
+			d, err := sched.NewRoundRobin(4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+	}
+}
+
+// TestRLEEngineMatchesFlat: for every Table 1 application under both
+// address maps, several machine variants, and both run-to-completion and
+// preemptive dispatchers, the strided-RLE block-coalesced engine produces
+// results bit-identical to the flat compiled-stream engine: makespan,
+// per-core busy cycles and cache stats (hits, cold/capacity/conflict
+// misses, writebacks), completion times, preemption and idle counts.
+func TestRLEEngineMatchesFlat(t *testing.T) {
+	apps, err := workload.BuildAll(workload.Params{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cfgName, cfg := range rleDiffConfigs() {
+		for _, app := range apps {
+			for amName, am := range rleDiffMaps(t, app, cfg.Cache) {
+				for dName, mkDisp := range rleDiffDispatchers(t) {
+					t.Run(fmt.Sprintf("%s/%s/%s/%s", cfgName, app.Name, amName, dName), func(t *testing.T) {
+						flatCfg := cfg
+						flatCfg.FlatStreams = true
+						flat, err := Run(app.Graph, mkDisp(), am, flatCfg)
+						if err != nil {
+							t.Fatalf("flat engine: %v", err)
+						}
+						rleCfg := cfg
+						rleCfg.FlatStreams = false
+						rle, err := Run(app.Graph, mkDisp(), am, rleCfg)
+						if err != nil {
+							t.Fatalf("RLE engine: %v", err)
+						}
+						if !reflect.DeepEqual(flat, rle) {
+							t.Errorf("results diverge:\nflat: %+v\nrle:  %+v", flat, rle)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestRLEEngineSingleRef: processes with exactly one reference take the
+// engine's AccessRun fast path (same-block runs resolved in one call
+// with no residency probe); a chain of single-ref strided readers and
+// writers must stay bit-identical to the flat engine, with and without
+// preemption and under write-back.
+func TestRLEEngineSingleRef(t *testing.T) {
+	arr := prog.MustArray("sr.A", 4, 1<<16)
+	g := taskgraph.New()
+	var prev taskgraph.ProcID
+	for i := 0; i < 6; i++ {
+		iter := prog.Seg("i", 0, 700)
+		kind := prog.Read
+		if i%2 == 1 {
+			kind = prog.Write
+		}
+		// Varied strides and overlapping offsets: spans of different
+		// lengths, some same-block reuse across processes.
+		spec := prog.MustProcessSpec(fmt.Sprintf("sr.p%d", i), iter, 2,
+			prog.StreamRef(arr, kind, iter, int64(1+i%3), int64(i*512)))
+		id := taskgraph.ProcID{Task: 0, Idx: i}
+		if err := g.AddProcess(&taskgraph.Process{ID: id, Spec: spec}); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && i%2 == 0 {
+			if err := g.AddDep(prev, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	base, err := layout.Pack(32, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cfgName, cfg := range rleDiffConfigs() {
+		for dName, mkDisp := range rleDiffDispatchers(t) {
+			t.Run(fmt.Sprintf("%s/%s", cfgName, dName), func(t *testing.T) {
+				flatCfg := cfg
+				flatCfg.FlatStreams = true
+				flat, err := Run(g, mkDisp(), base, flatCfg)
+				if err != nil {
+					t.Fatalf("flat engine: %v", err)
+				}
+				rle, err := Run(g, mkDisp(), base, cfg)
+				if err != nil {
+					t.Fatalf("RLE engine: %v", err)
+				}
+				if !reflect.DeepEqual(flat, rle) {
+					t.Errorf("results diverge:\nflat: %+v\nrle:  %+v", flat, rle)
+				}
+			})
+		}
+	}
+}
+
+// TestRLEEngineRunnerReuse: resetting and re-running a Runner (the path
+// repeated experiment cells take) stays bit-identical across engines.
+func TestRLEEngineRunnerReuse(t *testing.T) {
+	app, err := workload.Build("Radar", 0, workload.Params{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	base, err := layout.Pack(cfg.Cache.BlockSize, app.Arrays...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatCfg := cfg
+	flatCfg.FlatStreams = true
+	flatRunner, err := NewRunner(app.Graph, base, flatCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rleRunner, err := NewRunner(app.Graph, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		flat, err := flatRunner.Run(sched.MustRoundRobin(193))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rle, err := rleRunner.Run(sched.MustRoundRobin(193))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(flat, rle) {
+			t.Errorf("run %d: results diverge:\nflat: %+v\nrle:  %+v", i, flat, rle)
+		}
+	}
+}

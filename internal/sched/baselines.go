@@ -35,6 +35,9 @@ func NewSJF(g *taskgraph.Graph) (*SJF, error) {
 // Name implements mpsoc.Dispatcher.
 func (s *SJF) Name() string { return "SJF" }
 
+// CoreAgnostic implements mpsoc.CoreAgnostic: the ready pool is global.
+func (s *SJF) CoreAgnostic() bool { return true }
+
 // Ready implements mpsoc.Dispatcher.
 func (s *SJF) Ready(id taskgraph.ProcID) { s.pool = insertSorted(s.pool, id) }
 
@@ -88,6 +91,9 @@ func NewCriticalPath(g *taskgraph.Graph) (*CriticalPath, error) {
 
 // Name implements mpsoc.Dispatcher.
 func (c *CriticalPath) Name() string { return "CPL" }
+
+// CoreAgnostic implements mpsoc.CoreAgnostic: the ready pool is global.
+func (c *CriticalPath) CoreAgnostic() bool { return true }
 
 // Ready implements mpsoc.Dispatcher.
 func (c *CriticalPath) Ready(id taskgraph.ProcID) { c.pool = insertSorted(c.pool, id) }

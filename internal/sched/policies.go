@@ -42,6 +42,10 @@ func NewRandom(seed int64) *Random {
 // Name implements mpsoc.Dispatcher.
 func (r *Random) Name() string { return "RS" }
 
+// CoreAgnostic implements mpsoc.CoreAgnostic: the pool is global, any
+// core can take any ready process.
+func (r *Random) CoreAgnostic() bool { return true }
+
 // Ready implements mpsoc.Dispatcher.
 func (r *Random) Ready(id taskgraph.ProcID) { r.pool = insertSorted(r.pool, id) }
 
@@ -88,6 +92,10 @@ func MustRoundRobin(quantum int64) *RoundRobin {
 
 // Name implements mpsoc.Dispatcher.
 func (r *RoundRobin) Name() string { return "RRS" }
+
+// CoreAgnostic implements mpsoc.CoreAgnostic: the ready queue is common
+// to all cores.
+func (r *RoundRobin) CoreAgnostic() bool { return true }
 
 // Ready implements mpsoc.Dispatcher: new processes join the tail.
 func (r *RoundRobin) Ready(id taskgraph.ProcID) { r.queue = append(r.queue, id) }
@@ -195,13 +203,27 @@ func (m StaticMode) String() string {
 // Static replays an Assignment: core k draws from its own list per the
 // configured mode. LS and LSM are Static dispatchers over
 // locality-derived assignments.
+//
+// State is positional: each process's (core, index) is resolved once at
+// construction, and readiness/taken are flat bit slices with per-core
+// ready counters. Pick therefore costs O(own list) when local work is
+// ready and O(cores) — integer loads, no hashing — when it must steal
+// or fail, which is what large machines hammer: the engine re-offers
+// every idle core on every completion, so failed picks dominate at 128
+// cores.
 type Static struct {
-	name    string
-	perCore [][]taskgraph.ProcID
-	taken   map[taskgraph.ProcID]bool
-	ready   map[taskgraph.ProcID]bool
-	mode    StaticMode
+	name       string
+	perCore    [][]taskgraph.ProcID
+	pos        map[taskgraph.ProcID]staticPos
+	taken      [][]bool
+	ready      [][]bool
+	readyCount []int // ready-and-not-taken entries per core
+	readyTotal int
+	head       []int // per-core index of the first non-taken entry
+	mode       StaticMode
 }
+
+type staticPos struct{ core, idx int }
 
 // NewStatic wraps an assignment as a dispatcher in the default
 // StealWhenIdle mode.
@@ -219,26 +241,59 @@ func NewStaticStrict(name string, a *Assignment) *Static {
 // runtime mode.
 func NewStaticMode(name string, a *Assignment, mode StaticMode) *Static {
 	per := make([][]taskgraph.ProcID, len(a.PerCore))
-	for i, l := range a.PerCore {
-		per[i] = append([]taskgraph.ProcID(nil), l...)
+	s := &Static{
+		name:       name,
+		perCore:    per,
+		pos:        make(map[taskgraph.ProcID]staticPos),
+		taken:      make([][]bool, len(a.PerCore)),
+		ready:      make([][]bool, len(a.PerCore)),
+		readyCount: make([]int, len(a.PerCore)),
+		head:       make([]int, len(a.PerCore)),
+		mode:       mode,
 	}
-	return &Static{
-		name:    name,
-		perCore: per,
-		taken:   make(map[taskgraph.ProcID]bool),
-		ready:   make(map[taskgraph.ProcID]bool),
-		mode:    mode,
+	for c, l := range a.PerCore {
+		per[c] = append([]taskgraph.ProcID(nil), l...)
+		s.taken[c] = make([]bool, len(l))
+		s.ready[c] = make([]bool, len(l))
+		for i, id := range l {
+			s.pos[id] = staticPos{core: c, idx: i}
+		}
 	}
+	return s
 }
 
 // Name implements mpsoc.Dispatcher.
 func (s *Static) Name() string { return s.name }
 
+// CoreAgnostic implements mpsoc.CoreAgnostic: under StealWhenIdle every
+// ready entry is reachable from every core (own list or steal), so Pick
+// success is core-independent. The skip and strict modes bind work to
+// cores and must keep receiving every offer.
+func (s *Static) CoreAgnostic() bool { return s.mode == StealWhenIdle }
+
 // Mode returns the runtime mode.
 func (s *Static) Mode() StaticMode { return s.mode }
 
-// Ready implements mpsoc.Dispatcher.
-func (s *Static) Ready(id taskgraph.ProcID) { s.ready[id] = true }
+// Ready implements mpsoc.Dispatcher. Processes outside the assignment
+// are ignored (they can never be picked, as before).
+func (s *Static) Ready(id taskgraph.ProcID) {
+	p, ok := s.pos[id]
+	if !ok {
+		return
+	}
+	if !s.ready[p.core][p.idx] {
+		s.ready[p.core][p.idx] = true
+		s.readyCount[p.core]++
+		s.readyTotal++
+	}
+}
+
+// take claims the (always ready) entry at a position.
+func (s *Static) take(c, i int) {
+	s.taken[c][i] = true
+	s.readyCount[c]--
+	s.readyTotal--
+}
 
 // Preempted implements mpsoc.Dispatcher. Static schedules never preempt;
 // a hand-back is a bug in the runtime configuration.
@@ -248,20 +303,31 @@ func (s *Static) Preempted(id taskgraph.ProcID) {
 
 // Pick implements mpsoc.Dispatcher per the configured mode.
 func (s *Static) Pick(core int, now int64) (taskgraph.ProcID, int64, bool) {
-	if core >= len(s.perCore) {
+	if core >= len(s.perCore) || s.readyTotal == 0 {
 		return taskgraph.ProcID{}, 0, false
 	}
-	for _, id := range s.perCore[core] {
-		if s.taken[id] {
-			continue
+	l := s.perCore[core]
+	h := s.head[core]
+	for h < len(l) && s.taken[core][h] {
+		h++
+	}
+	s.head[core] = h
+	if s.readyCount[core] > 0 {
+		for i := h; i < len(l); i++ {
+			if s.taken[core][i] {
+				continue
+			}
+			if s.ready[core][i] {
+				s.take(core, i)
+				return l[i], 0, true
+			}
+			if s.mode == StrictOrder {
+				return taskgraph.ProcID{}, 0, false
+			}
 		}
-		if s.ready[id] {
-			s.taken[id] = true
-			return id, 0, true
-		}
-		if s.mode == StrictOrder {
-			return taskgraph.ProcID{}, 0, false
-		}
+	} else if s.mode == StrictOrder {
+		// The exact next entry (if any) is not ready.
+		return taskgraph.ProcID{}, 0, false
 	}
 	if s.mode != StealWhenIdle {
 		return taskgraph.ProcID{}, 0, false
@@ -270,15 +336,14 @@ func (s *Static) Pick(core int, now int64) (taskgraph.ProcID, int64, bool) {
 	// entry furthest from running there, so the disruption to imminent
 	// locality chains is minimal. Core order breaks ties.
 	for c := range s.perCore {
-		if c == core {
+		if c == core || s.readyCount[c] == 0 {
 			continue
 		}
-		l := s.perCore[c]
-		for i := len(l) - 1; i >= 0; i-- {
-			id := l[i]
-			if !s.taken[id] && s.ready[id] {
-				s.taken[id] = true
-				return id, 0, true
+		lc := s.perCore[c]
+		for i := len(lc) - 1; i >= 0; i-- {
+			if !s.taken[c][i] && s.ready[c][i] {
+				s.take(c, i)
+				return lc[i], 0, true
 			}
 		}
 	}

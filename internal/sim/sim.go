@@ -4,46 +4,69 @@
 // reproducible bit-for-bit.
 package sim
 
-import "container/heap"
-
 type item[T any] struct {
 	time    int64
 	seq     int64
 	payload T
 }
 
-type itemHeap[T any] []item[T]
-
-func (h itemHeap[T]) Len() int { return len(h) }
-func (h itemHeap[T]) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-func (h itemHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap[T]) Push(x any)   { *h = append(*h, x.(item[T])) }
-func (h *itemHeap[T]) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
-}
-
-// Queue is a deterministic min-heap of timestamped events.
+// Queue is a deterministic min-heap of timestamped events. The heap is
+// hand-rolled rather than container/heap-based: the simulator pushes and
+// pops one event per dispatched segment, and the interface indirection
+// (and the per-Push boxing allocation it forces) showed up in profiles
+// of 128-core runs. (time, seq) is a total order, so the pop sequence is
+// independent of internal array layout.
 type Queue[T any] struct {
-	h   itemHeap[T]
+	h   []item[T]
 	seq int64
 }
 
 // NewQueue returns an empty queue.
 func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
 
+// less orders by time, then insertion sequence.
+func (q *Queue[T]) less(i, j int) bool {
+	if q.h[i].time != q.h[j].time {
+		return q.h[i].time < q.h[j].time
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q.h[i], q.h[child] = q.h[child], q.h[i]
+		i = child
+	}
+}
+
 // Push schedules payload at the given time.
 func (q *Queue[T]) Push(time int64, payload T) {
 	q.seq++
-	heap.Push(&q.h, item[T]{time: time, seq: q.seq, payload: payload})
+	q.h = append(q.h, item[T]{time: time, seq: q.seq, payload: payload})
+	q.up(len(q.h) - 1)
 }
 
 // Pop removes and returns the earliest event. ok is false when empty.
@@ -52,8 +75,16 @@ func (q *Queue[T]) Pop() (time int64, payload T, ok bool) {
 		var zero T
 		return 0, zero, false
 	}
-	it := heap.Pop(&q.h).(item[T])
-	return it.time, it.payload, true
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	var zero item[T]
+	q.h[last] = zero // release payload references
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.time, top.payload, true
 }
 
 // Peek returns the earliest event without removing it.

@@ -1,0 +1,68 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+
+	"locsched/internal/prog"
+)
+
+func freezeSpec(t *testing.T, name string) *prog.ProcessSpec {
+	t.Helper()
+	arr := prog.MustArray(name+".A", 4, 1024)
+	iter := prog.Seg("i", 0, 16)
+	return prog.MustProcessSpec(name, iter, 1, prog.StreamRef(arr, prog.Read, iter, 1, 0))
+}
+
+// TestFreeze: a frozen graph rejects structural mutation — the guard
+// that keeps structurally-keyed analysis caches valid — while read-side
+// queries keep working; freezing is idempotent.
+func TestFreeze(t *testing.T) {
+	g := New()
+	a := &Process{ID: ProcID{Task: 0, Idx: 0}, Spec: freezeSpec(t, "a")}
+	bp := &Process{ID: ProcID{Task: 0, Idx: 1}, Spec: freezeSpec(t, "b")}
+	if err := g.AddProcess(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddProcess(bp); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(a.ID, bp.ID); err != nil {
+		t.Fatal(err)
+	}
+	if g.Frozen() {
+		t.Fatal("new graph reports frozen")
+	}
+
+	g.Freeze()
+	g.Freeze() // idempotent
+	if !g.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+
+	c := &Process{ID: ProcID{Task: 0, Idx: 2}, Spec: freezeSpec(t, "c")}
+	if err := g.AddProcess(c); err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Errorf("AddProcess on frozen graph: err = %v, want frozen error", err)
+	}
+	if err := g.AddDep(bp.ID, a.ID); err == nil || !strings.Contains(err.Error(), "frozen") {
+		t.Errorf("AddDep on frozen graph: err = %v, want frozen error", err)
+	}
+	if g.Len() != 2 || g.NumEdges() != 1 {
+		t.Errorf("frozen graph mutated: %d procs, %d edges", g.Len(), g.NumEdges())
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		t.Errorf("TopoOrder on frozen graph: %v", err)
+	}
+
+	// Merge reads frozen inputs into a fresh, mutable graph.
+	merged, err := Merge(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Frozen() {
+		t.Error("Merge output starts frozen")
+	}
+	if err := merged.AddProcess(c); err != nil {
+		t.Errorf("Merge output rejects mutation: %v", err)
+	}
+}

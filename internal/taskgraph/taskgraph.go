@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"locsched/internal/prog"
 )
@@ -45,6 +46,9 @@ type Graph struct {
 	succ  map[ProcID][]ProcID
 	pred  map[ProcID][]ProcID
 	order []ProcID // insertion order, for deterministic iteration
+	// frozen is atomic: concurrent experiment cells freeze the shared
+	// graph on first analysis, racing benignly with each other.
+	frozen atomic.Bool
 }
 
 // New returns an empty graph.
@@ -56,8 +60,21 @@ func New() *Graph {
 	}
 }
 
+// Freeze marks the graph immutable: AddProcess and AddDep fail from now
+// on. Analyses (sharing matrices, LS assignments, LSM mappings) and
+// compiled trace streams are cached against the graph's structure, so
+// the first consumer of a graph freezes it; builders that are done
+// constructing may also freeze eagerly. Freezing twice is a no-op.
+func (g *Graph) Freeze() { g.frozen.Store(true) }
+
+// Frozen reports whether the graph has been frozen.
+func (g *Graph) Frozen() bool { return g.frozen.Load() }
+
 // AddProcess inserts a node. The process must have a spec and an unused ID.
 func (g *Graph) AddProcess(p *Process) error {
+	if g.Frozen() {
+		return fmt.Errorf("taskgraph: graph is frozen (analyses may be cached); build a new graph instead of mutating")
+	}
 	if p == nil || p.Spec == nil {
 		return fmt.Errorf("taskgraph: nil process or spec")
 	}
@@ -72,6 +89,9 @@ func (g *Graph) AddProcess(p *Process) error {
 // AddDep inserts a dependence edge from -> to (to waits for from). Both
 // endpoints must exist; self-dependences and duplicate edges are rejected.
 func (g *Graph) AddDep(from, to ProcID) error {
+	if g.Frozen() {
+		return fmt.Errorf("taskgraph: graph is frozen (analyses may be cached); build a new graph instead of mutating")
+	}
 	if from == to {
 		return fmt.Errorf("taskgraph: self-dependence on %v", from)
 	}

@@ -69,6 +69,65 @@ func BenchmarkTraceCompileCached(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceCompileRLE measures compiling one (spec, address map)
+// pair into the strided run-length encoding, bypassing the caches, and
+// reports the resident bytes of both stream forms (the stream-memory
+// reduction the encoding buys).
+func BenchmarkTraceCompileRLE(b *testing.B) {
+	spec, am := benchSpec()
+	flat, err := compile(spec, am)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var s *RLEStream
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err = compileRLE(spec, am)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Len()), "accesses")
+	b.ReportMetric(float64(flat.MemBytes()), "flat_bytes")
+	b.ReportMetric(float64(s.MemBytes()), "rle_bytes")
+}
+
+// BenchmarkTraceCompileRLECached measures the cross-run path: the
+// encoding is already in the package cache, so a fresh generator only
+// pays the signature lookup.
+func BenchmarkTraceCompileRLECached(b *testing.B) {
+	spec, am := benchSpec()
+	if _, err := NewGenerator(am).RLE(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewGenerator(am).RLE(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRLECursorNext measures per-access consumption of the encoded
+// stream (the differential-test path; the simulator consumes whole runs
+// instead).
+func BenchmarkRLECursorNext(b *testing.B) {
+	spec, am := benchSpec()
+	cur, err := NewGenerator(am).NewRLECursor(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := cur.Next(); !ok {
+			cur.Reset()
+		}
+	}
+}
+
 // BenchmarkCursorNext measures per-access stream consumption.
 func BenchmarkCursorNext(b *testing.B) {
 	spec, am := benchSpec()

@@ -60,24 +60,63 @@ type streamKey struct {
 	sig  string
 }
 
-// streamCache shares compiled streams across runs. Bounded by entry
-// count and by total resident bytes (streams are fully materialized
-// traces, so dense layout sweeps could otherwise pin gigabytes); once
-// either bound is hit the cache is cleared wholesale — streams are cheap
-// to recompile, the bounds only guard unbounded growth under churn.
-var streamCache = struct {
+// memSized is anything that can report its resident size — the two
+// compiled stream forms.
+type memSized interface{ MemBytes() int64 }
+
+// boundedCache shares compiled streams across runs. Bounded by entry
+// count and by total resident bytes (flat streams are fully
+// materialized traces, so dense layout sweeps could otherwise pin
+// gigabytes); once either bound is hit the cache is cleared wholesale —
+// streams are cheap to recompile, the bounds only guard unbounded
+// growth under churn. One instantiation per stream form keeps the
+// locking/eviction protocol in a single place.
+type boundedCache[S memSized] struct {
 	sync.Mutex
-	m     map[streamKey]*Stream
+	m     map[streamKey]S
 	bytes int64
-}{m: make(map[streamKey]*Stream)}
+}
+
+// lookup returns the cached stream for key, if any.
+func (c *boundedCache[S]) lookup(key streamKey) (S, bool) {
+	c.Lock()
+	defer c.Unlock()
+	s, ok := c.m[key]
+	return s, ok
+}
+
+// add inserts s under key and returns the canonical entry: when a
+// concurrent caller compiled the same stream first, its copy is adopted
+// so the byte accounting stays exact.
+func (c *boundedCache[S]) add(key streamKey, s S) S {
+	c.Lock()
+	defer c.Unlock()
+	if prior, ok := c.m[key]; ok {
+		return prior
+	}
+	if c.m == nil || len(c.m) >= maxCachedStreams || c.bytes+s.MemBytes() > maxCachedStreamBytes {
+		c.m = make(map[streamKey]S)
+		c.bytes = 0
+	}
+	c.m[key] = s
+	c.bytes += s.MemBytes()
+	return s
+}
+
+var streamCache boundedCache[*Stream]
 
 const (
-	maxCachedStreams     = 256
+	// maxCachedStreams bounds entries per cache. Large-scale mixes hold
+	// hundreds of live specs at once (128-core Figure 7-XL runs ~600), so
+	// the cap must comfortably exceed that or every run recompiles its
+	// whole working set; the byte bound is what actually limits memory.
+	maxCachedStreams     = 4096
 	maxCachedStreamBytes = 256 << 20
 )
 
-// memBytes approximates the stream's resident size.
-func (s *Stream) memBytes() int64 { return int64(len(s.Addrs)) * 9 }
+// MemBytes approximates the stream's resident size: 8 address bytes plus
+// 1 flag byte per access.
+func (s *Stream) MemBytes() int64 { return int64(len(s.Addrs)) * 9 }
 
 // addrSignature returns a string uniquely describing the addressing of
 // every reference of the spec under am, or ok=false when am cannot state
@@ -111,6 +150,7 @@ func addrSignature(spec *prog.ProcessSpec, am layout.AddressMap) (string, bool) 
 type Generator struct {
 	am      layout.AddressMap
 	streams map[*prog.ProcessSpec]*Stream
+	rles    map[*prog.ProcessSpec]*RLEStream
 }
 
 // NewGenerator builds a generator over the address map.
@@ -129,10 +169,7 @@ func (g *Generator) Stream(spec *prog.ProcessSpec) (*Stream, error) {
 	}
 	sig, keyed := addrSignature(spec, g.am)
 	if keyed {
-		streamCache.Lock()
-		s, ok := streamCache.m[streamKey{spec, sig}]
-		streamCache.Unlock()
-		if ok {
+		if s, ok := streamCache.lookup(streamKey{spec, sig}); ok {
 			g.streams[spec] = s
 			return s, nil
 		}
@@ -141,50 +178,37 @@ func (g *Generator) Stream(spec *prog.ProcessSpec) (*Stream, error) {
 	if err != nil {
 		return nil, err
 	}
-	g.streams[spec] = s
 	if keyed {
-		key := streamKey{spec, sig}
-		streamCache.Lock()
-		if prior, ok := streamCache.m[key]; ok {
-			// A concurrent generator compiled the same stream first: adopt
-			// it so the byte accounting stays exact.
-			s = prior
-		} else {
-			if len(streamCache.m) >= maxCachedStreams || streamCache.bytes+s.memBytes() > maxCachedStreamBytes {
-				streamCache.m = make(map[streamKey]*Stream)
-				streamCache.bytes = 0
-			}
-			streamCache.m[key] = s
-			streamCache.bytes += s.memBytes()
-		}
-		streamCache.Unlock()
-		g.streams[spec] = s
+		s = streamCache.add(streamKey{spec, sig}, s)
 	}
+	g.streams[spec] = s
 	return s, nil
 }
 
-// compile walks the spec's iteration space once and materializes the full
-// access stream under the address map.
-func compile(spec *prog.ProcessSpec, am layout.AddressMap) (*Stream, error) {
-	total, err := spec.Accesses()
-	if err != nil {
-		return nil, fmt.Errorf("trace: process %s: %w", spec.Name, err)
-	}
-	nrefs := len(spec.Refs)
-	s := &Stream{
-		Addrs: make([]int64, 0, total),
-		Flags: make([]byte, 0, total),
-	}
+// refFn is one reference's resolved address function: the closed-form
+// formula when the map provides one, the interface call otherwise.
+type refFn struct {
+	ref  prog.Ref
+	flag byte
+	f    layout.AddrFormula
+	fast bool
+}
 
-	// Resolve each reference's address function once: the closed-form
-	// formula when the map provides one, the interface call otherwise.
-	type refFn struct {
-		ref  prog.Ref
-		flag byte
-		f    layout.AddrFormula
-		fast bool
+// addr resolves the reference's address at an iteration point; idxBuf is
+// caller-owned scratch, returned for reuse.
+func (fn *refFn) addr(am layout.AddressMap, pt, idxBuf []int64) (int64, []int64) {
+	idxBuf = fn.ref.Map.Apply(pt, idxBuf)
+	lin := fn.ref.Array.LinearIndex(idxBuf)
+	if fn.fast {
+		return fn.f.Addr(lin), idxBuf
 	}
-	fns := make([]refFn, nrefs)
+	return am.Addr(fn.ref.Array, lin), idxBuf
+}
+
+// resolveRefFns resolves every reference of the spec once against the
+// address map, packing the per-access flag byte alongside.
+func resolveRefFns(spec *prog.ProcessSpec, am layout.AddressMap) []refFn {
+	fns := make([]refFn, len(spec.Refs))
 	ac, hasAC := am.(layout.AddrCompiler)
 	for i, ref := range spec.Refs {
 		fns[i].ref = ref
@@ -200,19 +224,27 @@ func compile(spec *prog.ProcessSpec, am layout.AddressMap) (*Stream, error) {
 			}
 		}
 	}
+	return fns
+}
 
+// compile walks the spec's iteration space once and materializes the full
+// access stream under the address map.
+func compile(spec *prog.ProcessSpec, am layout.AddressMap) (*Stream, error) {
+	total, err := spec.Accesses()
+	if err != nil {
+		return nil, fmt.Errorf("trace: process %s: %w", spec.Name, err)
+	}
+	s := &Stream{
+		Addrs: make([]int64, 0, total),
+		Flags: make([]byte, 0, total),
+	}
+	fns := resolveRefFns(spec, am)
 	idxBuf := make([]int64, 0, 4)
 	err = spec.IterSpace.Points(func(pt []int64) bool {
 		for i := range fns {
 			fn := &fns[i]
-			idxBuf = fn.ref.Map.Apply(pt, idxBuf)
-			lin := fn.ref.Array.LinearIndex(idxBuf)
 			var addr int64
-			if fn.fast {
-				addr = fn.f.Addr(lin)
-			} else {
-				addr = am.Addr(fn.ref.Array, lin)
-			}
+			addr, idxBuf = fn.addr(am, pt, idxBuf)
 			s.Addrs = append(s.Addrs, addr)
 			s.Flags = append(s.Flags, fn.flag)
 		}

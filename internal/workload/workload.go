@@ -99,6 +99,9 @@ func Build(name string, task int, p Params) (*App, error) {
 	if err := b.g.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: %s graph invalid: %w", name, err)
 	}
+	// Construction is complete; analyses cached against this graph stay
+	// valid for its lifetime.
+	b.g.Freeze()
 	return &App{
 		Name:   name,
 		Desc:   Describe(name),
@@ -123,6 +126,27 @@ func BuildAll(p Params) ([]*App, error) {
 	var apps []*App
 	for i, name := range Names() {
 		a, err := Build(name, i, p)
+		if err != nil {
+			return nil, err
+		}
+		apps = append(apps, a)
+	}
+	return apps, nil
+}
+
+// BuildMany constructs a generated multi-program mix of n tasks by
+// cycling through the Table 1 suite with task IDs 0..n-1. Every task
+// owns private arrays (the builders prefix names with the task ID), so
+// tasks conflict in the caches but never share data — the large-scale
+// setting the 32–128-core evaluations exercise.
+func BuildMany(n int, p Params) ([]*App, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: mix size %d must be positive", n)
+	}
+	names := Names()
+	apps := make([]*App, 0, n)
+	for i := 0; i < n; i++ {
+		a, err := Build(names[i%len(names)], i, p)
 		if err != nil {
 			return nil, err
 		}

@@ -216,6 +216,30 @@ func Figure7(cfg Config, policies []Policy) (*Table, error) {
 	return experiment.Figure7(cfg, policies)
 }
 
+// XLPoint is one (core count, task count) scale of the large-scale
+// evaluation ladder.
+type XLPoint = experiment.XLPoint
+
+// DefaultXLPoints returns the standard 32/64/128-core scenario ladder
+// with proportionally growing generated mixes.
+func DefaultXLPoints() []XLPoint { return experiment.DefaultXLPoints() }
+
+// Figure7XL scales Figure 7 to large machines: generated multi-program
+// mixes on 32–128-core MPSoCs. Pass nil points for the default ladder.
+func Figure7XL(cfg Config, points []XLPoint, policies []Policy) (*Table, error) {
+	return experiment.Figure7XL(cfg, points, policies)
+}
+
+// SweepXL runs the dense (cache size × associativity × miss penalty)
+// grid over the full six-application mix.
+func SweepXL(cfg Config, sizes []int64, assocs []int, penalties []int64, policies []Policy) (*Sweep, error) {
+	return experiment.SweepXL(cfg, sizes, assocs, penalties, policies)
+}
+
+// BuildMixApps constructs a generated multi-program mix of n tasks by
+// cycling through the Table 1 suite with distinct task IDs.
+func BuildMixApps(n int, p WorkloadParams) ([]*App, error) { return workload.BuildMany(n, p) }
+
 // FormatTable renders a figure as an ASCII table (milliseconds).
 func FormatTable(t *Table) string { return experiment.FormatTable(t) }
 
