@@ -120,7 +120,10 @@ func BenchmarkFigure7Table(b *testing.B) {
 // compiled streams are memoized across runs in both engines alike).
 func BenchmarkFigure7XL(b *testing.B) {
 	for _, pt := range locsched.DefaultXLPoints() {
-		for _, pol := range locsched.Policies() {
+		// ARR rides along with the paper's four: its cells quantify how
+		// much of the RRS preemption penalty (the weakest coalescing
+		// cells) affinity-aware dispatch recovers.
+		for _, pol := range append(locsched.Policies(), locsched.ARR) {
 			for _, engine := range []string{"rle", "flat"} {
 				b.Run(fmt.Sprintf("%dc-T%d/%s/%s", pt.Cores, pt.Tasks, pol, engine), func(b *testing.B) {
 					cfg := benchConfig()

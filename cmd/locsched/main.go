@@ -15,17 +15,25 @@
 //	all      everything above, in order
 //	fig7xl   large-scale concurrent mixes on 32–128-core machines
 //	sweepxl  dense cache-size × associativity × miss-penalty grid
+//	affinity ARR window × quantum-batch ablation grid against RRS
 //
-// The two XL commands go beyond the paper (which stops at 8 cores): they
-// are the evaluations the compiled-trace engines were built to afford,
-// and are deliberately not part of `all`.
+// The XL and affinity commands go beyond the paper (which stops at 8
+// cores and four policies): they are the evaluations the compiled-trace
+// engines were built to afford, and are deliberately not part of `all`.
 //
 // Flags:
 //
 //	-scale N       workload scale factor (default 2)
 //	-cores N       number of cores (default 8)
-//	-quantum N     RRS time slice in cycles (default 2048)
-//	-extended      include the SJF and CPL extension baselines
+//	-quantum N     RRS/ARR time slice in cycles (default 2048)
+//	-policy S      comma-separated policy columns for fig6/fig7/fig7xl/sweepxl
+//	               (rs,rrs,arr,sjf,cpl,ls,lsm; default: the paper's four)
+//	-extended      include the ARR, SJF, and CPL extension policies
+//	-affinity N    ARR affinity window; 0 degenerates to RRS (default 256)
+//	-qbatch N      ARR quanta per warm resume (default 8)
+//	-adecay N      ARR affinity staleness bound in cycles; 0 = never (default 0)
+//	-awindows S    affinity-grid windows (default "0,1,4,8,16,64")
+//	-abatches S    affinity-grid quantum batches (default "1,4")
 //	-missrates     also print miss-rate/conflict tables for fig6, fig7, fig7xl
 //	-json          emit fig6/fig7/fig7xl as JSON instead of tables
 //	-par N         worker pool size for figure/sweep cells (default GOMAXPROCS)
@@ -49,8 +57,14 @@ import (
 func main() {
 	scale := flag.Int("scale", 0, "workload scale factor (0 = default)")
 	cores := flag.Int("cores", 0, "number of cores (0 = default 8)")
-	quantum := flag.Int64("quantum", 0, "RRS quantum in cycles (0 = default)")
-	extended := flag.Bool("extended", false, "include SJF and CPL baselines")
+	quantum := flag.Int64("quantum", 0, "RRS/ARR quantum in cycles (0 = default)")
+	extended := flag.Bool("extended", false, "include ARR, SJF, and CPL extension policies")
+	policyList := flag.String("policy", "", "comma-separated policy columns (rs,rrs,arr,sjf,cpl,ls,lsm); empty = the paper's four")
+	affinity := flag.Int("affinity", -1, "ARR affinity window; 0 degenerates to RRS (-1 = default 256)")
+	qbatch := flag.Int("qbatch", -1, "ARR quanta per warm resume; 0 and 1 both mean a single quantum (-1 = default 8)")
+	adecay := flag.Int64("adecay", -1, "ARR affinity staleness bound in cycles; 0 = never stale (-1 = default)")
+	aWindows := flag.String("awindows", "0,1,4,8,16,64", "affinity-grid windows, comma-separated")
+	aBatches := flag.String("abatches", "1,4", "affinity-grid quantum batches, comma-separated")
 	missrates := flag.Bool("missrates", false, "also print miss-rate tables")
 	jsonOut := flag.Bool("json", false, "emit fig6/fig7/fig7xl as JSON instead of tables")
 	par := flag.Int("par", 0, "worker pool size for figure/sweep cells (0 = GOMAXPROCS, 1 = sequential)")
@@ -80,10 +94,34 @@ func main() {
 	if *par > 0 {
 		cfg.Workers = *par
 	}
+	if *affinity >= 0 {
+		cfg.Affinity = *affinity
+	}
+	if *qbatch >= 0 {
+		cfg.QBatch = *qbatch
+	}
+	if *adecay >= 0 {
+		cfg.AffinityDecay = *adecay
+	}
 	cfg.Machine.FlatStreams = *flat
 	var policies []locsched.Policy
 	if *extended {
 		policies = locsched.ExtendedPolicies()
+	}
+	if *policyList != "" {
+		policies = nil
+		for _, part := range strings.Split(*policyList, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			p, err := locsched.ParsePolicy(part)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "locsched:", err)
+				os.Exit(2)
+			}
+			policies = append(policies, p)
+		}
 	}
 
 	cmd := flag.Arg(0)
@@ -155,6 +193,20 @@ func main() {
 				return fmt.Errorf("-xlmiss: %w", err)
 			}
 			s, err := locsched.SweepXL(cfg, sizes, assocs, penalties, policies)
+			if err != nil {
+				return err
+			}
+			fmt.Println(locsched.FormatSweep(s))
+		case "affinity":
+			windows, err := parseIntList(*aWindows)
+			if err != nil {
+				return fmt.Errorf("-awindows: %w", err)
+			}
+			batches, err := parseIntList(*aBatches)
+			if err != nil {
+				return fmt.Errorf("-abatches: %w", err)
+			}
+			s, err := locsched.AblationAffinity(cfg, windows, batches)
 			if err != nil {
 				return err
 			}
@@ -303,7 +355,7 @@ func parseXLPoints(s string) ([]locsched.XLPoint, error) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage: locsched [flags] <command>
 
-commands: table1 table2 fig6 fig7 sweep ablate all fig7xl sweepxl
+commands: table1 table2 fig6 fig7 sweep ablate all fig7xl sweepxl affinity
 
 flags:
 `)

@@ -1,0 +1,44 @@
+package locsched_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"locsched"
+)
+
+// TestGoldenFigures is the output-drift gate: the default `locsched
+// fig6` and `locsched fig7` tables (the paper's four policies, default
+// machine and workload) must stay byte-identical to the goldens captured
+// at PR 2. New policies, engines, and refactors ride along only if they
+// leave the baseline reproduction untouched; a deliberate change to the
+// defaults must regenerate testdata/fig6.golden and fig7.golden (e.g.
+// `go run ./cmd/locsched fig6 > testdata/fig6.golden`) and say why.
+func TestGoldenFigures(t *testing.T) {
+	cfg := locsched.DefaultConfig()
+	for _, tc := range []struct {
+		golden string
+		run    func() (*locsched.Table, error)
+	}{
+		{"fig6.golden", func() (*locsched.Table, error) { return locsched.Figure6(cfg, nil) }},
+		{"fig7.golden", func() (*locsched.Table, error) { return locsched.Figure7(cfg, nil) }},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			tab, err := tc.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The CLI prints the table via fmt.Println: formatted bytes
+			// plus one trailing newline.
+			got := locsched.FormatTable(tab) + "\n"
+			if got != string(want) {
+				t.Errorf("output drifted from %s:\n--- golden ---\n%s--- got ---\n%s", tc.golden, want, got)
+			}
+		})
+	}
+}

@@ -545,6 +545,25 @@ func newShadowLRU(capacity int64) *shadowLRU {
 // recency.
 func (s *shadowLRU) resident(block int64) bool { return s.slots.get(block) >= 0 }
 
+// mruPrefixIs reports whether the directory's most-recent entries are
+// exactly blocks[R-1], …, blocks[0] — the state one access pass over a
+// duplicate-free blocks slice leaves behind. A replay pass from that
+// state is a provable no-op (each access re-fronts a block the previous
+// accesses just pushed down by exactly its distance), which lets
+// TryAccessHitIters elide the pass entirely in steady spans. Groups
+// with duplicate blocks simply fail the comparison — a list node cannot
+// match two positions — and fall back to the real replay.
+func (s *shadowLRU) mruPrefixIs(blocks []int64) bool {
+	n := s.head
+	for i := len(blocks) - 1; i >= 0; i-- {
+		if n < 0 || s.nodes[n].block != blocks[i] {
+			return false
+		}
+		n = s.nodes[n].next
+	}
+	return true
+}
+
 // access touches block, returns whether it was resident, and makes it MRU.
 func (s *shadowLRU) access(block int64) bool {
 	if n := s.slots.get(block); n >= 0 {

@@ -99,15 +99,18 @@ func (c *Cache) TryAccessHitIters(blocks []int64, writes []bool, iters int64) bo
 			ln.dirty = true
 		}
 	}
-	if c.shadow != nil {
+	if c.shadow != nil && !c.shadow.mruPrefixIs(blocks) {
 		// Replay one iteration's worth of shadow touches. Per-access
 		// simulation would move each block to shadow-MRU every iteration,
 		// leaving the group in touch order at the top after each full
-		// iteration — so one pass equals iters passes. The pass cannot be
-		// skipped: the caller may arrive with a partially-replayed
-		// iteration's order (e.g. after a process resumed mid-iteration on
-		// this core), and the bulk update must end in the exact state
-		// per-access simulation would reach.
+		// iteration — so one pass equals iters passes. The pass cannot
+		// blindly be skipped: the caller may arrive with a
+		// partially-replayed iteration's order (e.g. after a process
+		// resumed mid-iteration on this core), and the bulk update must
+		// end in the exact state per-access simulation would reach. It
+		// can be skipped exactly when the MRU prefix already equals the
+		// replay's final order (mruPrefixIs), which is the steady state
+		// of consecutive spans over the same group.
 		for _, b := range blocks {
 			c.shadow.access(b)
 		}

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"fmt"
+
+	"locsched/internal/workload"
+)
+
+// AblationAffinity sweeps the two levers of the ARR policy family — the
+// affinity window (how deep a free core looks into the ready queue for
+// a warm process) and the quantum batch (how many quanta a warm resume
+// is granted) — on the full six-application mix, with RRS as the shared
+// per-point baseline. The w=0 k=1 point is ARR degenerated to RRS and
+// must match the baseline exactly (the differential tests hold this at
+// the bit level); every other point shows what affinity alone, batching
+// alone, or both buy. Cells fan out on the Config.Workers pool.
+func AblationAffinity(cfg Config, windows []int, batches []int) (*Sweep, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(windows) == 0 {
+		windows = []int{0, 1, 4, 8, 16, 64}
+	}
+	if len(batches) == 0 {
+		batches = []int{1, 4}
+	}
+	apps, err := workload.BuildAll(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+
+	type gridPoint struct {
+		window, batch int
+	}
+	var pts []gridPoint
+	var labels []string
+	for _, k := range batches {
+		for _, w := range windows {
+			pts = append(pts, gridPoint{window: w, batch: k})
+			labels = append(labels, fmt.Sprintf("w=%d k=%d", w, k))
+		}
+	}
+	// Cell 0 is the shared RRS baseline; it rides the same worker pool
+	// as the ARR grid (it is the most expensive single cell, so running
+	// it serially up front would leave the pool idle for its duration).
+	cells := make([]*RunResult, len(pts)+1)
+	err = runCells(cfg.Workers, len(cells), func(i int) error {
+		if i == 0 {
+			r, err := RunMix(apps, RRS, cfg)
+			if err != nil {
+				return fmt.Errorf("affinity ablation, RRS baseline: %w", err)
+			}
+			cells[0] = r
+			return nil
+		}
+		c := cfg
+		c.Affinity = pts[i-1].window
+		c.QBatch = pts[i-1].batch
+		r, err := RunMix(apps, ARR, c)
+		if err != nil {
+			return fmt.Errorf("affinity ablation, %s: %w", labels[i-1], err)
+		}
+		cells[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{Title: fmt.Sprintf("ARR affinity ablation (|T|=%d, quantum %d, vs RRS)", len(apps), cfg.Quantum)}
+	for i, label := range labels {
+		results := map[Policy]*RunResult{RRS: cells[0], ARR: cells[i+1]}
+		s.Points = append(s.Points, SweepPoint{Label: label, Results: results})
+	}
+	return s, nil
+}

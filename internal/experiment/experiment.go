@@ -13,6 +13,7 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 
 	"locsched/internal/layout"
 	"locsched/internal/mpsoc"
@@ -25,10 +26,13 @@ import (
 // Policy names a scheduling strategy under test.
 type Policy string
 
-// The four strategies of the paper plus the two future-work baselines.
+// The four strategies of the paper plus the extension policies: ARR
+// (cache-affinity-aware round-robin, this repo's dynamic-policy
+// extension) and the SJF/CPL future-work baselines.
 const (
 	RS  Policy = "RS"
 	RRS Policy = "RRS"
+	ARR Policy = "ARR"
 	LS  Policy = "LS"
 	LSM Policy = "LSM"
 	SJF Policy = "SJF"
@@ -38,16 +42,41 @@ const (
 // Policies returns the paper's four strategies in presentation order.
 func Policies() []Policy { return []Policy{RS, RRS, LS, LSM} }
 
-// ExtendedPolicies additionally includes the future-work baselines.
-func ExtendedPolicies() []Policy { return []Policy{RS, RRS, SJF, CPL, LS, LSM} }
+// ExtendedPolicies additionally includes ARR and the future-work
+// baselines.
+func ExtendedPolicies() []Policy { return []Policy{RS, RRS, ARR, SJF, CPL, LS, LSM} }
+
+// ParsePolicy resolves a case-insensitive policy name against the full
+// ExtendedPolicies list.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range ExtendedPolicies() {
+		if strings.EqualFold(s, string(p)) {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("experiment: unknown policy %q", s)
+}
 
 // Config bundles everything a run needs.
 type Config struct {
 	Machine  mpsoc.Config
 	Workload workload.Params
-	Quantum  int64 // RRS time slice in cycles
+	Quantum  int64 // RRS/ARR time slice in cycles
 	Seed     int64 // RS randomization seed
 	Align    int64 // base layout packing alignment in bytes
+
+	// Affinity is ARR's affinity strength: how deep into the common
+	// ready queue a free core scans for a process whose previous
+	// segment ran on it (sched.AffinityConfig.Window). 0 makes ARR
+	// bit-identical to RRS.
+	Affinity int
+	// QBatch is ARR's quantum batch: the number of quanta granted to a
+	// warm (same-core) resume before forced preemption. 0 and 1 both
+	// mean a single quantum.
+	QBatch int
+	// AffinityDecay bounds, in cycles, how long ARR trusts a last-core
+	// binding; 0 trusts bindings forever.
+	AffinityDecay int64
 
 	// Workers bounds the worker pool that figure and sweep harnesses fan
 	// independent cells out on. Each cell owns its caches and cursors, so
@@ -57,7 +86,9 @@ type Config struct {
 }
 
 // DefaultConfig uses the paper's Table 2 machine, workload scale 2, a
-// quantum scaled to our process lengths, and block-size alignment.
+// quantum scaled to our process lengths, block-size alignment, and a
+// deep ARR setting (affinity window 256, quantum batch 8 — see the
+// AblationAffinity grid for the sensitivity of both levers).
 func DefaultConfig() Config {
 	m := mpsoc.DefaultConfig()
 	return Config{
@@ -66,6 +97,8 @@ func DefaultConfig() Config {
 		Quantum:  2048,
 		Seed:     1,
 		Align:    m.Cache.BlockSize,
+		Affinity: 256,
+		QBatch:   8,
 	}
 }
 
@@ -80,6 +113,15 @@ func (c Config) Validate() error {
 	if c.Align <= 0 {
 		return fmt.Errorf("experiment: alignment %d must be positive", c.Align)
 	}
+	if c.Affinity < 0 {
+		return fmt.Errorf("experiment: affinity window %d must be non-negative", c.Affinity)
+	}
+	if c.QBatch < 0 {
+		return fmt.Errorf("experiment: quantum batch %d must be non-negative", c.QBatch)
+	}
+	if c.AffinityDecay < 0 {
+		return fmt.Errorf("experiment: affinity decay %d must be non-negative", c.AffinityDecay)
+	}
 	return nil
 }
 
@@ -93,7 +135,12 @@ type RunResult struct {
 	Misses      int64
 	Conflicts   int64
 	Preemptions int64
-	Relaid      int // arrays moved by the LSM mapping phase
+	// AffineResumes and Migrations classify resumed segments: dispatched
+	// back to the process's previous (possibly still warm) core, or onto
+	// a different, cold one. Only preemptive policies score nonzero.
+	AffineResumes int64
+	Migrations    int64
+	Relaid        int // arrays moved by the LSM mapping phase
 	// TimelineText is a rendered per-core Gantt chart, populated when
 	// Config.Machine.RecordTimeline is set.
 	TimelineText string
@@ -130,6 +177,17 @@ func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Poli
 		disp = sched.NewRandom(cfg.Seed)
 	case RRS:
 		d, err := sched.NewRoundRobin(cfg.Quantum)
+		if err != nil {
+			return nil, err
+		}
+		disp = d
+	case ARR:
+		d, err := sched.NewAffinityRR(sched.AffinityConfig{
+			Quantum: cfg.Quantum,
+			Window:  cfg.Affinity,
+			QBatch:  cfg.QBatch,
+			Decay:   cfg.AffinityDecay,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -174,15 +232,17 @@ func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Poli
 	}
 	putRunner(g, am, cfg.Machine, runner)
 	out := &RunResult{
-		Workload:    name,
-		Policy:      policy,
-		Cycles:      res.Cycles,
-		Seconds:     res.Seconds,
-		Hits:        res.Total.Hits,
-		Misses:      res.Total.Misses(),
-		Conflicts:   res.Total.Conflict,
-		Preemptions: res.Preemptions,
-		Relaid:      relaid,
+		Workload:      name,
+		Policy:        policy,
+		Cycles:        res.Cycles,
+		Seconds:       res.Seconds,
+		Hits:          res.Total.Hits,
+		Misses:        res.Total.Misses(),
+		Conflicts:     res.Total.Conflict,
+		Preemptions:   res.Preemptions,
+		AffineResumes: res.AffineResumes,
+		Migrations:    res.Migrations,
+		Relaid:        relaid,
 	}
 	if cfg.Machine.RecordTimeline {
 		out.TimelineText = res.FormatTimeline(96)

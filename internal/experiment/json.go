@@ -14,7 +14,11 @@ type jsonCell struct {
 	MissRate    float64 `json:"miss_rate"`
 	Conflicts   int64   `json:"conflict_misses"`
 	Preemptions int64   `json:"preemptions"`
-	Relaid      int     `json:"relaid_arrays"`
+	// Affinity placement of resumed segments (nonzero only for
+	// preemptive policies): resumed on the previous core vs migrated.
+	AffineResumes int64 `json:"affine_resumes"`
+	Migrations    int64 `json:"migrations"`
+	Relaid        int   `json:"relaid_arrays"`
 }
 
 type jsonTable struct {
@@ -33,14 +37,16 @@ func WriteJSON(w io.Writer, t *Table) error {
 				continue
 			}
 			out.Cells = append(out.Cells, jsonCell{
-				Workload:    row.Label,
-				Policy:      string(r.Policy),
-				Cycles:      r.Cycles,
-				Millis:      r.Seconds * 1e3,
-				MissRate:    r.MissRate(),
-				Conflicts:   r.Conflicts,
-				Preemptions: r.Preemptions,
-				Relaid:      r.Relaid,
+				Workload:      row.Label,
+				Policy:        string(r.Policy),
+				Cycles:        r.Cycles,
+				Millis:        r.Seconds * 1e3,
+				MissRate:      r.MissRate(),
+				Conflicts:     r.Conflicts,
+				Preemptions:   r.Preemptions,
+				AffineResumes: r.AffineResumes,
+				Migrations:    r.Migrations,
+				Relaid:        r.Relaid,
 			})
 		}
 	}

@@ -67,7 +67,7 @@ func FormatSweep(s *Sweep) string {
 		fmt.Fprintf(&b, "%-14s", pt.Label)
 		var baseline *RunResult
 		n := 0
-		for _, p := range []Policy{RS, RRS, SJF, CPL, LS, LSM} {
+		for _, p := range ExtendedPolicies() {
 			if r, ok := pt.Results[p]; ok {
 				if baseline == nil {
 					baseline = r
@@ -83,6 +83,13 @@ func FormatSweep(s *Sweep) string {
 			}
 			if lsm, ok := pt.Results[LSM]; ok && baseline.Seconds > 0 && lsm != baseline {
 				fmt.Fprintf(&b, "  [LSM saves %.1f%%]", (1-lsm.Seconds/baseline.Seconds)*100)
+			}
+			if arr, ok := pt.Results[ARR]; ok && baseline.Seconds > 0 && arr != baseline {
+				warm := ""
+				if tot := arr.AffineResumes + arr.Migrations; tot > 0 {
+					warm = fmt.Sprintf(", %.0f%% warm", 100*float64(arr.AffineResumes)/float64(tot))
+				}
+				fmt.Fprintf(&b, "  [ARR saves %.1f%%%s]", (1-arr.Seconds/baseline.Seconds)*100, warm)
 			}
 		}
 		fmt.Fprintln(&b)

@@ -36,11 +36,38 @@ type Dispatcher interface {
 // wakes only as many idle cores as it has announced-but-unpicked
 // processes instead of re-offering every idle core on every completion —
 // at 128 cores the all-but-one failed offers otherwise dominate
-// preemptive schedules. Which core receives which process is unchanged:
-// idle cores are woken in index order either way, and the elided offers
-// are exactly those that would have failed.
+// preemptive schedules. Which core receives which process is unchanged
+// for policies without affinity hints: idle cores are woken in index
+// order (warm cores first for AffinityHinter dispatchers), and the
+// elided offers are exactly those that would have failed.
 type CoreAgnostic interface {
 	CoreAgnostic() bool
+}
+
+// SegmentObserver is an optional Dispatcher capability: after every
+// executed segment the engine reports which process ran, on which core,
+// the cycle the segment ended, and whether the process completed. This
+// is the last-core hint an affinity-aware policy (sched.AffinityRR)
+// feeds on, delivered identically by the flat-stream and strided-RLE
+// execution paths (both funnel through the shared dispatch loop).
+// SegmentDone is called before the corresponding Ready/Preempted
+// announcement and must not affect whether a subsequent Pick succeeds.
+type SegmentObserver interface {
+	SegmentDone(id taskgraph.ProcID, core int, now int64, completed bool)
+}
+
+// AffinityHinter is an optional Dispatcher capability for warm-resume
+// placement: AffinityHints yields, in dispatch-preference order, the
+// last cores of pending processes whose cache contents are still
+// expected warm, stopping early when yield returns false. When idle
+// cores are requeued the engine wakes hinted cores first (then the rest
+// in index order), so the same-cycle offer sequence reaches a preempted
+// process's previous core before any colder one. Yielding must be
+// deterministic and side-effect-free; a dispatcher that currently has
+// no hints (e.g. ARR at affinity strength 0) simply yields nothing and
+// leaves the wake order exactly as it would be without the capability.
+type AffinityHinter interface {
+	AffinityHints(now int64, yield func(core int) bool)
 }
 
 // CoreStats aggregates one core's activity.
@@ -70,8 +97,15 @@ type Result struct {
 	Total       cache.Stats                // all cores combined
 	Completion  map[taskgraph.ProcID]int64 // per-process completion cycle
 	Preemptions int64
-	IdleCycles  int64     // Σ cores (makespan − busy)
-	Timeline    []Segment // populated when Config.RecordTimeline is set
+	// AffineResumes and Migrations classify every resumed segment (a
+	// dispatch of a process that already executed at least one segment):
+	// a resume on the process's previous core is affine — its working
+	// set may still be cached — and a resume elsewhere is a migration
+	// onto a cold cache. Run-to-completion policies score zero on both.
+	AffineResumes int64
+	Migrations    int64
+	IdleCycles    int64     // Σ cores (makespan − busy)
+	Timeline      []Segment // populated when Config.RecordTimeline is set
 }
 
 // procCursor is one process's playback state under whichever engine the
@@ -232,6 +266,11 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 	if ca, ok := d.(CoreAgnostic); ok {
 		coreAgnostic = ca.CoreAgnostic()
 	}
+	observer, _ := d.(SegmentObserver)
+	hinter, _ := d.(AffinityHinter)
+	// lastCore remembers each process's previous core for the affinity
+	// accounting in Result (and mirrors what a SegmentObserver is told).
+	lastCore := make(map[taskgraph.ProcID]int, g.Len())
 
 	res := &Result{
 		Policy:     d.Name(),
@@ -249,20 +288,31 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 	remaining := g.Len()
 	var makespan int64
 
-	// wakeIdle requeues idle cores (in index order, keeping runs
-	// deterministic) without allocating. Offers that provably fail are
-	// elided — at 128 cores the all-but-one failed offers otherwise
-	// dominate preemptive schedules — but only at "quiet" timestamps:
-	// when another event is pending at this same cycle (FIFO order pops
-	// every same-cycle completion before any same-cycle offer), that
-	// event may ready more work before the offers pop, so all idle cores
-	// must be offered to keep the offer sequence — and with it the
-	// core↔process pairing — exactly as if nothing were elided. At a
-	// quiet timestamp nothing can inject work before the offers pop, so
-	// offers beyond the announced-work count avail fail for certain:
-	// none are pushed when avail is zero, and core-agnostic dispatchers
-	// (whose Pick success never depends on the core) need at most avail
-	// offers.
+	// wakeIdle requeues idle cores (in a deterministic order) without
+	// allocating. Offers that provably fail are elided — at 128 cores
+	// the all-but-one failed offers otherwise dominate preemptive
+	// schedules — but only at "quiet" timestamps: when another event is
+	// pending at this same cycle (FIFO order pops every same-cycle
+	// completion before any same-cycle offer), that event may ready more
+	// work before the offers pop, so all idle cores must be offered to
+	// keep the offer sequence — and with it the core↔process pairing —
+	// exactly as if nothing were elided. At a quiet timestamp nothing
+	// can inject work before the offers pop, so offers beyond the
+	// announced-work count avail fail for certain: none are pushed when
+	// avail is zero, and core-agnostic dispatchers (whose Pick success
+	// never depends on the core) need at most avail offers.
+	//
+	// The wake order is index order, except that an AffinityHinter's
+	// hinted cores are woken first: same-cycle evFree events pop FIFO,
+	// so the first woken core is the first to Pick, and putting a
+	// pending process's previous core there is what turns a would-be
+	// migration into a warm resume. The elision itself is unaffected —
+	// hints reorder the woken set, never enlarge it.
+	wake := func(now int64, c int) {
+		idle[c] = false
+		idleCount--
+		events.Push(now, event{kind: evFree, core: c})
+	}
 	wakeIdle := func(now int64) {
 		if idleCount == 0 {
 			return
@@ -278,14 +328,21 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 		if quiet && coreAgnostic && avail < budget {
 			budget = avail
 		}
+		if hinter != nil && budget > 0 {
+			hinter.AffinityHints(now, func(c int) bool {
+				if c >= 0 && c < len(idle) && idle[c] {
+					wake(now, c)
+					budget--
+				}
+				return budget > 0 && idleCount > 0
+			})
+		}
 		for c := range idle {
 			if budget == 0 {
 				break
 			}
 			if idle[c] {
-				idle[c] = false
-				idleCount--
-				events.Push(now, event{kind: evFree, core: c})
+				wake(now, c)
 				budget--
 			}
 		}
@@ -299,6 +356,9 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 		switch ev.kind {
 		case evDone:
 			busyCores--
+			if observer != nil {
+				observer.SegmentDone(ev.id, ev.core, now, ev.completed)
+			}
 			if ev.completed {
 				res.PerCore[ev.core].Procs++
 				res.Completion[ev.id] = now
@@ -333,6 +393,14 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 				continue
 			}
 			avail--
+			if prev, ran := lastCore[id]; ran {
+				if prev == ev.core {
+					res.AffineResumes++
+				} else {
+					res.Migrations++
+				}
+			}
+			lastCore[id] = ev.core
 			pc, exists := r.cursors[id]
 			if !exists {
 				return nil, fmt.Errorf("mpsoc: policy %s picked unknown process %v", d.Name(), id)

@@ -85,6 +85,19 @@ func rleDiffDispatchers(t *testing.T) map[string]func() Dispatcher {
 			}
 			return d
 		},
+		// ARR exercises the affinity machinery end to end: warm-biased
+		// picks, hint-ordered wakes, quantum batching on warm resumes,
+		// and decaying bindings — all with the same odd quantum that
+		// forces mid-iteration preemption.
+		"ARR-193": func() Dispatcher {
+			d, err := sched.NewAffinityRR(sched.AffinityConfig{
+				Quantum: 193, Window: 4, QBatch: 2, Decay: 50000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
 	}
 }
 

@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"fmt"
+
+	"locsched/internal/taskgraph"
+)
+
+// This file implements ARR (affinity round-robin), the first dynamic
+// policy added beyond the paper's Section 4 ladder. RRS resumes a
+// preempted process on whichever core's offer happens to arrive first,
+// so every quantum boundary risks re-faulting the process's working set
+// into a cold cache. ARR keeps RRS's common FIFO queue and fixed
+// quantum but tracks where each process last executed and biases
+// dispatch toward warm resumes, with two tunable levers:
+//
+//   - Window (the affinity strength): how deep into the ready queue a
+//     free core may look for a process whose last segment ran on it.
+//     Window 0 disables all affinity machinery and is bit-identical to
+//     RRS (enforced by differential tests).
+//   - QBatch: how many quanta a warm resume is granted before the next
+//     forced preemption. Batching quanta on a warm core amortizes the
+//     cold-start transient across a longer segment; cold dispatches
+//     still get a single quantum, so batching never delays a queue that
+//     has somewhere better to run.
+//
+// A third knob, Decay, bounds how long a last-core binding is trusted:
+// a process whose segment ended more than Decay cycles ago is treated
+// as unbound (its lines have likely been evicted by whatever ran in the
+// meantime), so any core may take it without a migration penalty being
+// expected. Decay 0 trusts bindings forever.
+
+// AffinityConfig parameterizes the ARR dispatcher family.
+type AffinityConfig struct {
+	// Quantum is the time slice in cycles, as in RRS; must be positive.
+	Quantum int64
+	// Window is the affinity strength: the number of queue entries a
+	// free core scans for affine (or unbound) work before falling back
+	// to the plain FIFO head. 0 degenerates to exactly RRS.
+	Window int
+	// QBatch is the number of quanta granted to a warm resume (a process
+	// dispatched to the core of its previous segment). 0 and 1 both mean
+	// no batching; cold dispatches always get one quantum.
+	QBatch int
+	// Decay is the staleness bound in cycles for last-core bindings;
+	// a binding older than Decay is ignored. 0 means bindings never
+	// go stale.
+	Decay int64
+}
+
+// validate checks the configuration.
+func (c AffinityConfig) validate() error {
+	if c.Quantum <= 0 {
+		return fmt.Errorf("sched: ARR quantum %d must be positive", c.Quantum)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("sched: ARR window %d must be non-negative", c.Window)
+	}
+	if c.QBatch < 0 {
+		return fmt.Errorf("sched: ARR quantum batch %d must be non-negative", c.QBatch)
+	}
+	if c.Decay < 0 {
+		return fmt.Errorf("sched: ARR affinity decay %d must be non-negative", c.Decay)
+	}
+	return nil
+}
+
+// AffinityRR implements ARR: RRS's common FIFO ready queue and fixed
+// quantum, plus cache-affinity-aware selection within a bounded
+// lookahead window. Last-core bindings are fed by the engine through
+// the mpsoc.SegmentObserver capability (SegmentDone), and the engine
+// additionally consults AffinityHints to wake warm idle cores before
+// cold ones, so a pending process is offered its previous core first
+// whenever both are free at the same cycle.
+//
+// State is handle-dense: each process gets a small integer handle on
+// first announcement, the queue holds handles, and bindings live in
+// flat arrays indexed by handle. Window scans are therefore straight
+// array walks — no hashing — which matters because deep windows (the
+// setting that pays at 128 cores, where ready queues run hundreds of
+// entries long) put a scan on every Pick.
+type AffinityRR struct {
+	cfg    AffinityConfig
+	handle map[taskgraph.ProcID]int32 // assigned on first Ready
+	ids    []taskgraph.ProcID         // handle → process
+	queue  []int32                    // FIFO of handles
+	// lastCore[h] is the core of h's last executed segment (-1 none);
+	// lastAt[h] is the cycle that segment ended.
+	lastCore []int32
+	lastAt   []int64
+}
+
+// NewAffinityRR returns an ARR dispatcher for the configuration.
+func NewAffinityRR(cfg AffinityConfig) (*AffinityRR, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &AffinityRR{cfg: cfg, handle: make(map[taskgraph.ProcID]int32)}, nil
+}
+
+// MustAffinityRR is NewAffinityRR that panics on error.
+func MustAffinityRR(cfg AffinityConfig) *AffinityRR {
+	a, err := NewAffinityRR(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements mpsoc.Dispatcher.
+func (a *AffinityRR) Name() string { return "ARR" }
+
+// Config returns the dispatcher's configuration.
+func (a *AffinityRR) Config() AffinityConfig { return a.cfg }
+
+// CoreAgnostic implements mpsoc.CoreAgnostic: Pick returns a process
+// whenever the queue is non-empty — affinity only biases *which* entry
+// a core receives, never whether it receives one — so Pick success is
+// core-independent and the engine's idle-offer elision stays legal.
+func (a *AffinityRR) CoreAgnostic() bool { return true }
+
+// enqueue appends a process's handle to the FIFO tail, assigning the
+// handle on first sight.
+func (a *AffinityRR) enqueue(id taskgraph.ProcID) {
+	h, ok := a.handle[id]
+	if !ok {
+		h = int32(len(a.ids))
+		a.handle[id] = h
+		a.ids = append(a.ids, id)
+		a.lastCore = append(a.lastCore, -1)
+		a.lastAt = append(a.lastAt, 0)
+	}
+	a.queue = append(a.queue, h)
+}
+
+// Ready implements mpsoc.Dispatcher: new processes join the tail.
+func (a *AffinityRR) Ready(id taskgraph.ProcID) { a.enqueue(id) }
+
+// Preempted implements mpsoc.Dispatcher: expired processes rejoin the
+// tail, exactly as in RRS; their last-core binding was already recorded
+// by SegmentDone.
+func (a *AffinityRR) Preempted(id taskgraph.ProcID) { a.enqueue(id) }
+
+// SegmentDone implements mpsoc.SegmentObserver: the engine reports every
+// executed segment's process, core, and end cycle. Completed processes
+// drop their binding (they can never be dispatched again); preempted
+// ones remember where — and when — they last ran.
+func (a *AffinityRR) SegmentDone(id taskgraph.ProcID, core int, now int64, completed bool) {
+	h, ok := a.handle[id]
+	if !ok {
+		return
+	}
+	if completed {
+		a.lastCore[h] = -1
+		return
+	}
+	a.lastCore[h] = int32(core)
+	a.lastAt[h] = now
+}
+
+// fresh reports whether handle h's binding is still trusted at now.
+func (a *AffinityRR) fresh(h int32, now int64) bool {
+	return a.cfg.Decay == 0 || now-a.lastAt[h] <= a.cfg.Decay
+}
+
+// take removes and returns the queue entry at index i, preserving
+// order. The head — every RRS-degenerate pick and the rule-3 fallback —
+// pops by reslicing; only mid-window takes pay the shift.
+func (a *AffinityRR) take(i int) taskgraph.ProcID {
+	h := a.queue[i]
+	if i == 0 {
+		a.queue = a.queue[1:]
+	} else {
+		a.queue = append(a.queue[:i], a.queue[i+1:]...)
+	}
+	return a.ids[h]
+}
+
+// Pick implements mpsoc.Dispatcher. Selection within the first Window
+// queue entries, in decreasing preference:
+//
+//  1. the first process whose fresh binding names this core — a warm
+//     resume, granted QBatch quanta;
+//  2. the first process with no fresh binding at all — work that is
+//     cold anywhere, so running it here costs nothing extra while
+//     processes bound to other (busy) cores keep waiting for them;
+//  3. the FIFO head, unconditionally — bounded-window fairness: a
+//     process bound to a core that never frees up is taken by whoever
+//     reaches it at the head, exactly as RRS would.
+//
+// Both preferences resolve in one window walk. With Window 0 every pick
+// is rule 3 with a single quantum: RRS.
+func (a *AffinityRR) Pick(core int, now int64) (taskgraph.ProcID, int64, bool) {
+	if len(a.queue) == 0 {
+		return taskgraph.ProcID{}, 0, false
+	}
+	w := a.cfg.Window
+	if w > len(a.queue) {
+		w = len(a.queue)
+	}
+	free := -1 // first window entry with no fresh binding
+	for i := 0; i < w; i++ {
+		h := a.queue[i]
+		if lc := a.lastCore[h]; lc >= 0 && a.fresh(h, now) {
+			if int(lc) == core {
+				q := a.cfg.Quantum
+				if a.cfg.QBatch > 1 {
+					q *= int64(a.cfg.QBatch)
+				}
+				return a.take(i), q, true
+			}
+		} else if free < 0 {
+			free = i
+		}
+	}
+	if free >= 0 {
+		return a.take(free), a.cfg.Quantum, true
+	}
+	return a.take(0), a.cfg.Quantum, true
+}
+
+// AffinityHints implements mpsoc.AffinityHinter: yields the last cores
+// of fresh-bound processes within the affinity window, in queue order,
+// until yield returns false. The engine wakes those idle cores first so
+// same-cycle offers reach a pending process's previous core before any
+// other. With Window 0 nothing is yielded and the engine's wake order
+// is untouched (part of the RRS bit-identity contract).
+func (a *AffinityRR) AffinityHints(now int64, yield func(core int) bool) {
+	w := a.cfg.Window
+	if w > len(a.queue) {
+		w = len(a.queue)
+	}
+	for i := 0; i < w; i++ {
+		h := a.queue[i]
+		if a.lastCore[h] >= 0 && a.fresh(h, now) {
+			if !yield(int(a.lastCore[h])) {
+				return
+			}
+		}
+	}
+}

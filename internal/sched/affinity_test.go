@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"testing"
+)
+
+func TestAffinityConfigValidation(t *testing.T) {
+	for _, bad := range []AffinityConfig{
+		{Quantum: 0},
+		{Quantum: -5},
+		{Quantum: 100, Window: -1},
+		{Quantum: 100, QBatch: -1},
+		{Quantum: 100, Decay: -1},
+	} {
+		if _, err := NewAffinityRR(bad); err == nil {
+			t.Errorf("config %+v: want error, got nil", bad)
+		}
+	}
+	if _, err := NewAffinityRR(AffinityConfig{Quantum: 100}); err != nil {
+		t.Errorf("minimal config: %v", err)
+	}
+}
+
+// TestAffinityZeroWindowIsRRS: with Window 0 every Pick must follow the
+// exact RRS protocol — FIFO head, single quantum — regardless of what
+// the affinity bookkeeping has recorded, and no hints are yielded.
+func TestAffinityZeroWindowIsRRS(t *testing.T) {
+	arr := MustAffinityRR(AffinityConfig{Quantum: 500, Window: 0, QBatch: 8})
+	rrs := MustRoundRobin(500)
+	for i := 0; i < 5; i++ {
+		arr.Ready(pid(0, i))
+		rrs.Ready(pid(0, i))
+	}
+	// Bindings exist but must be ignored at window 0.
+	arr.SegmentDone(pid(0, 2), 3, 100, false)
+	arr.SegmentDone(pid(0, 4), 0, 100, false)
+	for core := 0; core < 5; core++ {
+		aid, aq, aok := arr.Pick(core, 200)
+		rid, rq, rok := rrs.Pick(core, 200)
+		if aid != rid || aq != rq || aok != rok {
+			t.Fatalf("core %d: ARR pick (%v,%d,%v) != RRS pick (%v,%d,%v)",
+				core, aid, aq, aok, rid, rq, rok)
+		}
+	}
+	hinted := false
+	arr.AffinityHints(200, func(core int) bool { hinted = true; return true })
+	if hinted {
+		t.Error("window-0 ARR yielded affinity hints")
+	}
+}
+
+// TestAffinityWarmPick: a core scanning its window takes the process
+// bound to it — with the batched quantum — over earlier queue entries.
+func TestAffinityWarmPick(t *testing.T) {
+	arr := MustAffinityRR(AffinityConfig{Quantum: 500, Window: 3, QBatch: 4})
+	for i := 0; i < 4; i++ {
+		arr.Ready(pid(0, i))
+	}
+	arr.SegmentDone(pid(0, 1), 7, 1000, false) // pid 1 last ran on core 7
+
+	id, q, ok := arr.Pick(7, 1100)
+	if !ok || id != pid(0, 1) {
+		t.Fatalf("core 7 picked %v, want warm process %v", id, pid(0, 1))
+	}
+	if q != 2000 {
+		t.Errorf("warm resume quantum = %d, want 4×500", q)
+	}
+
+	// A different core must not receive the still-fresh bound process:
+	// pid 0 is unbound and first in the window.
+	id, q, ok = arr.Pick(3, 1100)
+	if !ok || id != pid(0, 0) {
+		t.Fatalf("core 3 picked %v, want unbound head %v", id, pid(0, 0))
+	}
+	if q != 500 {
+		t.Errorf("cold dispatch quantum = %d, want the plain quantum", q)
+	}
+}
+
+// TestAffinityWindowBound: a warm process beyond the window is invisible;
+// the head is taken instead.
+func TestAffinityWindowBound(t *testing.T) {
+	arr := MustAffinityRR(AffinityConfig{Quantum: 500, Window: 2})
+	for i := 0; i < 5; i++ {
+		arr.Ready(pid(0, i))
+	}
+	arr.SegmentDone(pid(0, 4), 6, 1000, false) // warm for core 6, but at depth 4 ≥ window
+
+	id, q, ok := arr.Pick(6, 1100)
+	if !ok || id != pid(0, 0) {
+		t.Fatalf("core 6 picked %v, want head %v (warm entry out of window)", id, pid(0, 0))
+	}
+	if q != 500 {
+		t.Errorf("quantum = %d, want 500", q)
+	}
+}
+
+// TestAffinityDecay: a stale binding neither wins a warm pick nor blocks
+// other cores from taking the process.
+func TestAffinityDecay(t *testing.T) {
+	arr := MustAffinityRR(AffinityConfig{Quantum: 500, Window: 4, QBatch: 4, Decay: 100})
+	arr.Ready(pid(0, 0))
+	arr.SegmentDone(pid(0, 0), 2, 1000, false)
+
+	// Within decay: core 5 must leave pid 0 for core 2... but it is the
+	// only entry, so the head fallback hands it over with one quantum.
+	id, q, _ := arr.Pick(5, 1050)
+	if id != pid(0, 0) || q != 500 {
+		t.Fatalf("head fallback: got (%v,%d), want (%v,500)", id, q, pid(0, 0))
+	}
+	arr.Preempted(pid(0, 0))
+	arr.SegmentDone(pid(0, 0), 2, 1050, false)
+
+	// Past decay: the binding is stale, so even core 2 treats the pick
+	// as cold (single quantum).
+	id, q, _ = arr.Pick(2, 5000)
+	if id != pid(0, 0) || q != 500 {
+		t.Fatalf("stale pick: got (%v,%d), want cold (%v,500)", id, q, pid(0, 0))
+	}
+}
+
+// TestAffinityFreshBindingReserved: a fresh binding to another core is
+// skipped in favor of unbound work deeper in the window.
+func TestAffinityFreshBindingReserved(t *testing.T) {
+	arr := MustAffinityRR(AffinityConfig{Quantum: 500, Window: 4})
+	arr.Ready(pid(0, 0))
+	arr.Ready(pid(0, 1))
+	arr.SegmentDone(pid(0, 0), 2, 1000, false) // head bound to core 2, fresh forever
+
+	id, _, ok := arr.Pick(5, 1100)
+	if !ok || id != pid(0, 1) {
+		t.Fatalf("core 5 picked %v, want unbound %v (head reserved for core 2)", id, pid(0, 1))
+	}
+	// Core 2 then collects its warm process.
+	id, _, ok = arr.Pick(2, 1100)
+	if !ok || id != pid(0, 0) {
+		t.Fatalf("core 2 picked %v, want its warm %v", id, pid(0, 0))
+	}
+}
+
+// TestAffinityHints: hints yield fresh bound cores in queue order within
+// the window, honor the stop signal, and skip completed processes.
+func TestAffinityHints(t *testing.T) {
+	arr := MustAffinityRR(AffinityConfig{Quantum: 500, Window: 3, Decay: 1000})
+	for i := 0; i < 4; i++ {
+		arr.Ready(pid(0, i))
+	}
+	arr.SegmentDone(pid(0, 0), 4, 1000, false)
+	arr.SegmentDone(pid(0, 1), 9, 200, false)  // stale by now=2000 under decay 1000
+	arr.SegmentDone(pid(0, 2), 6, 1500, true)  // completed: binding dropped
+	arr.SegmentDone(pid(0, 3), 8, 1900, false) // fresh, but at depth 3 ≥ window
+
+	var got []int
+	arr.AffinityHints(2000, func(core int) bool {
+		got = append(got, core)
+		return true
+	})
+	if len(got) != 1 || got[0] != 4 {
+		t.Errorf("hints = %v, want [4]", got)
+	}
+
+	// Stop signal: with a second fresh binding in the window, yielding
+	// false after the first hint must end the iteration.
+	arr.SegmentDone(pid(0, 1), 9, 1950, false)
+	calls := 0
+	arr.AffinityHints(2000, func(core int) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("yield called %d times after stop, want 1", calls)
+	}
+}
+
+// TestAffinityFIFOWithinClass: among equally unbound processes ARR keeps
+// strict FIFO order, so fairness matches RRS.
+func TestAffinityFIFOWithinClass(t *testing.T) {
+	arr := MustAffinityRR(AffinityConfig{Quantum: 500, Window: 8})
+	for i := 0; i < 6; i++ {
+		arr.Ready(pid(0, i))
+	}
+	for i := 0; i < 6; i++ {
+		id, _, ok := arr.Pick(0, 100)
+		if !ok || id != pid(0, i) {
+			t.Fatalf("pick %d: got %v, want %v", i, id, pid(0, i))
+		}
+	}
+	if _, _, ok := arr.Pick(0, 100); ok {
+		t.Error("empty queue still yielded a process")
+	}
+}

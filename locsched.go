@@ -92,6 +92,10 @@ const (
 	RS = experiment.RS
 	// RRS is preemptive round-robin over a common queue (baseline 2).
 	RRS = experiment.RRS
+	// ARR is cache-affinity-aware round-robin: RRS plus warm-resume
+	// placement and quantum batching (this repo's dynamic-policy
+	// extension; see Config.Affinity, Config.QBatch).
+	ARR = experiment.ARR
 	// LS is the locality-aware scheduler of Figure 3.
 	LS = experiment.LS
 	// LSM is LS plus the data-mapping phase of Figures 4–5.
@@ -117,8 +121,11 @@ func DefaultConfig() Config { return experiment.DefaultConfig() }
 // Policies returns the paper's four strategies in presentation order.
 func Policies() []Policy { return experiment.Policies() }
 
-// ExtendedPolicies additionally includes SJF and CPL.
+// ExtendedPolicies additionally includes ARR, SJF, and CPL.
 func ExtendedPolicies() []Policy { return experiment.ExtendedPolicies() }
+
+// ParsePolicy resolves a case-insensitive policy name.
+func ParsePolicy(s string) (Policy, error) { return experiment.ParsePolicy(s) }
 
 // AppNames returns the six application names in Table 1 order.
 func AppNames() []string { return workload.Names() }
@@ -304,6 +311,13 @@ func AblationReplacement(cfg Config) (*Sweep, error) {
 // the paper's related work.
 func AblationIndexing(cfg Config) (*Sweep, error) {
 	return experiment.AblationIndexing(cfg)
+}
+
+// AblationAffinity sweeps ARR's affinity window × quantum batch grid on
+// the full six-application mix against the RRS baseline. Nil slices use
+// the default grid.
+func AblationAffinity(cfg Config, windows []int, batches []int) (*Sweep, error) {
+	return experiment.AblationAffinity(cfg, windows, batches)
 }
 
 // GreedyQualityRow compares the Figure 3 greedy against the exact

@@ -126,8 +126,18 @@ func TestFacadeFormatting(t *testing.T) {
 }
 
 func TestFacadeExtendedPolicies(t *testing.T) {
-	if len(locsched.ExtendedPolicies()) != 6 {
-		t.Error("expected 6 extended policies")
+	ext := locsched.ExtendedPolicies()
+	if len(ext) != 7 {
+		t.Error("expected 7 extended policies")
+	}
+	found := false
+	for _, p := range ext {
+		if p == locsched.ARR {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("extended policies missing ARR")
 	}
 }
 
