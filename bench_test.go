@@ -474,3 +474,93 @@ func BenchmarkEsetIntersect(b *testing.B) {
 		sa.IntersectCard(sb)
 	}
 }
+
+// xlAnalysisGraph builds the generated-mix EPG of one XL ladder point
+// (tasks = cores/4) for the analysis-phase benchmarks.
+func xlAnalysisGraph(b *testing.B, cores int) *locsched.Graph {
+	b.Helper()
+	apps, err := workload.BuildMany(cores/4, workload.Params{Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, _, err := workload.Combine(apps...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkComputeMatrixXL measures sharing-matrix construction on the
+// XL ladder's generated mixes: the sequential pairwise path against the
+// blocked parallel construction at 1 and 4 workers (the two are
+// bit-identical; see the sharing differential tests).
+func BenchmarkComputeMatrixXL(b *testing.B) {
+	for _, cores := range []int{128, 512, 1024} {
+		// The graph builds inside the cores-level Run so filtered
+		// invocations (CI smokes select 128c only) skip the other rungs'
+		// multi-thousand-process setup entirely.
+		b.Run(fmt.Sprintf("%dc", cores), func(b *testing.B) {
+			g := xlAnalysisGraph(b, cores)
+			// Each path builds a fresh Analyzer per iteration (exactly what
+			// a cachedMatrix miss does), so the numbers cover the full
+			// analysis phase — data spaces plus the pair sweep. The
+			// parallel path's data-space phase additionally benefits from
+			// content dedup of repeated app templates; that is part of its
+			// design, not benchmark noise (see PERFORMANCE.md).
+			b.Run("seq", func(b *testing.B) {
+				b.ReportMetric(float64(g.Len()), "procs")
+				for i := 0; i < b.N; i++ {
+					if _, err := locsched.ComputeSharing(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			for _, workers := range []int{1, 4} {
+				b.Run(fmt.Sprintf("par%d", workers), func(b *testing.B) {
+					b.ReportMetric(float64(g.Len()), "procs")
+					for i := 0; i < b.N; i++ {
+						if _, err := locsched.ComputeSharingParallel(g, workers); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkLocalityScheduleXL measures the Figure 3 greedy on the XL
+// ladder's generated mixes: the retained full-rescan reference against
+// the incremental formulation (bit-identical; see the sched differential
+// tests).
+func BenchmarkLocalityScheduleXL(b *testing.B) {
+	for _, cores := range []int{128, 512, 1024} {
+		cores := cores
+		// Graph and matrix build inside the cores-level Run so filtered
+		// invocations skip the other rungs' setup (the 1024c matrix alone
+		// costs hundreds of milliseconds).
+		b.Run(fmt.Sprintf("%dc", cores), func(b *testing.B) {
+			g := xlAnalysisGraph(b, cores)
+			m, err := locsched.ComputeSharingParallel(g, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run("rescan", func(b *testing.B) {
+				b.ReportMetric(float64(g.Len()), "procs")
+				for i := 0; i < b.N; i++ {
+					if _, err := sched.LocalityScheduleRescan(g, m, cores); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("incremental", func(b *testing.B) {
+				b.ReportMetric(float64(g.Len()), "procs")
+				for i := 0; i < b.N; i++ {
+					if _, err := locsched.LocalitySchedule(g, m, cores); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -13,13 +13,14 @@
 //	fig7     concurrent workloads |T|=1..6 (paper Figure 7)
 //	sweep    parameter-sensitivity sweeps (the "consistent savings" claim)
 //	all      everything above, in order
-//	fig7xl   large-scale concurrent mixes on 32–128-core machines
+//	fig7xl   large-scale concurrent mixes on 32–1024-core machines
 //	sweepxl  dense cache-size × associativity × miss-penalty grid
 //	affinity ARR window × quantum-batch ablation grid against RRS
 //
 // The XL and affinity commands go beyond the paper (which stops at 8
 // cores and four policies): they are the evaluations the compiled-trace
-// engines were built to afford, and are deliberately not part of `all`.
+// engines and the blocked scheduling analysis were built to afford, and
+// are deliberately not part of `all`.
 //
 // Flags:
 //
@@ -39,14 +40,23 @@
 //	-par N         worker pool size for figure/sweep cells (default GOMAXPROCS)
 //	-flat          use the flat-stream engine instead of strided-RLE (A/B timing)
 //	-xlpoints S    fig7xl ladder as cores:tasks pairs (default "32:8,64:16,128:32")
+//	-xlmax N       fig7xl doubling ladder 32..N cores (overrides -xlpoints; try 512 or 1024)
 //	-xlsizes S     sweepxl cache sizes in KB (default "4,8,16,32")
 //	-xlassoc S     sweepxl associativities (default "1,2,4,8")
 //	-xlmiss S      sweepxl miss penalties in cycles (default "25,75,150,300")
+//
+// Every flag is validated at parse time: negative scales, core counts,
+// worker pools, affinity settings (beyond the -1 "use the default"
+// sentinel), non-positive XL ladder points, and empty lists fail with a
+// usage error before any experiment starts, instead of propagating
+// silently into configurations.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -55,61 +65,127 @@ import (
 )
 
 func main() {
-	scale := flag.Int("scale", 0, "workload scale factor (0 = default)")
-	cores := flag.Int("cores", 0, "number of cores (0 = default 8)")
-	quantum := flag.Int64("quantum", 0, "RRS/ARR quantum in cycles (0 = default)")
-	extended := flag.Bool("extended", false, "include ARR, SJF, and CPL extension policies")
-	policyList := flag.String("policy", "", "comma-separated policy columns (rs,rrs,arr,sjf,cpl,ls,lsm); empty = the paper's four")
-	affinity := flag.Int("affinity", -1, "ARR affinity window; 0 degenerates to RRS (-1 = default 256)")
-	qbatch := flag.Int("qbatch", -1, "ARR quanta per warm resume; 0 and 1 both mean a single quantum (-1 = default 8)")
-	adecay := flag.Int64("adecay", -1, "ARR affinity staleness bound in cycles; 0 = never stale (-1 = default)")
-	aWindows := flag.String("awindows", "0,1,4,8,16,64", "affinity-grid windows, comma-separated")
-	aBatches := flag.String("abatches", "1,4", "affinity-grid quantum batches, comma-separated")
-	missrates := flag.Bool("missrates", false, "also print miss-rate tables")
-	jsonOut := flag.Bool("json", false, "emit fig6/fig7/fig7xl as JSON instead of tables")
-	par := flag.Int("par", 0, "worker pool size for figure/sweep cells (0 = GOMAXPROCS, 1 = sequential)")
-	flat := flag.Bool("flat", false, "use the flat-stream engine instead of strided-RLE (for A/B timing; results are identical)")
-	xlPoints := flag.String("xlpoints", "32:8,64:16,128:32", "fig7xl ladder as comma-separated cores:tasks pairs")
-	xlSizes := flag.String("xlsizes", "4,8,16,32", "sweepxl cache sizes in KB, comma-separated")
-	xlAssoc := flag.String("xlassoc", "1,2,4,8", "sweepxl associativities, comma-separated")
-	xlMiss := flag.String("xlmiss", "25,75,150,300", "sweepxl miss penalties in cycles, comma-separated")
-	flag.Usage = usage
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		usage()
-		os.Exit(2)
+// cliOptions is everything the command handlers need, parsed and
+// validated.
+type cliOptions struct {
+	cfg       locsched.Config
+	policies  []locsched.Policy
+	missrates bool
+	jsonOut   bool
+	xlPoints  []locsched.XLPoint
+	xlSizes   []int64
+	xlAssoc   []int
+	xlMiss    []int64
+	aWindows  []int
+	aBatches  []int
+}
+
+// run is the testable entry point: it parses and validates flags, then
+// dispatches the command. Exit codes: 0 success, 1 runtime failure,
+// 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("locsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 0, "workload scale factor (0 = default)")
+	cores := fs.Int("cores", 0, "number of cores (0 = default 8)")
+	quantum := fs.Int64("quantum", 0, "RRS/ARR quantum in cycles (0 = default)")
+	extended := fs.Bool("extended", false, "include ARR, SJF, and CPL extension policies")
+	policyList := fs.String("policy", "", "comma-separated policy columns (rs,rrs,arr,sjf,cpl,ls,lsm); empty = the paper's four")
+	affinity := fs.Int("affinity", -1, "ARR affinity window; 0 degenerates to RRS (-1 = default 256)")
+	qbatch := fs.Int("qbatch", -1, "ARR quanta per warm resume; 0 and 1 both mean a single quantum (-1 = default 8)")
+	adecay := fs.Int64("adecay", -1, "ARR affinity staleness bound in cycles; 0 = never stale (-1 = default)")
+	aWindows := fs.String("awindows", "0,1,4,8,16,64", "affinity-grid windows, comma-separated")
+	aBatches := fs.String("abatches", "1,4", "affinity-grid quantum batches, comma-separated")
+	missrates := fs.Bool("missrates", false, "also print miss-rate tables")
+	jsonOut := fs.Bool("json", false, "emit fig6/fig7/fig7xl as JSON instead of tables")
+	par := fs.Int("par", 0, "worker pool size for figure/sweep cells (0 = GOMAXPROCS, 1 = sequential)")
+	flat := fs.Bool("flat", false, "use the flat-stream engine instead of strided-RLE (for A/B timing; results are identical)")
+	xlPoints := fs.String("xlpoints", "32:8,64:16,128:32", "fig7xl ladder as comma-separated cores:tasks pairs")
+	xlMax := fs.Int("xlmax", 0, "fig7xl doubling ladder 32..N cores (overrides -xlpoints; 0 = use -xlpoints)")
+	xlSizes := fs.String("xlsizes", "4,8,16,32", "sweepxl cache sizes in KB, comma-separated")
+	xlAssoc := fs.String("xlassoc", "1,2,4,8", "sweepxl associativities, comma-separated")
+	xlMiss := fs.String("xlmiss", "25,75,150,300", "sweepxl miss penalties in cycles, comma-separated")
+	fs.Usage = func() { usage(fs, stderr) }
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h/-help: usage on request is not an error
+		}
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
 	}
 
-	cfg := locsched.DefaultConfig()
+	usageErr := func(err error) int {
+		fmt.Fprintln(stderr, "locsched:", err)
+		fmt.Fprintln(stderr, "run 'locsched -h' for usage")
+		return 2
+	}
+
+	// Validate every plain numeric flag before building the config.
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"-scale", int64(*scale)},
+		{"-cores", int64(*cores)},
+		{"-quantum", *quantum},
+		{"-par", int64(*par)},
+	} {
+		if c.v < 0 {
+			return usageErr(fmt.Errorf("%s %d: must be non-negative (0 = default)", c.name, c.v))
+		}
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"-affinity", int64(*affinity)},
+		{"-qbatch", int64(*qbatch)},
+		{"-adecay", *adecay},
+	} {
+		if c.v < -1 {
+			return usageErr(fmt.Errorf("%s %d: must be non-negative (or -1 for the default)", c.name, c.v))
+		}
+	}
+	if *xlMax < 0 {
+		return usageErr(fmt.Errorf("-xlmax %d: must be non-negative (0 = use -xlpoints)", *xlMax))
+	}
+
+	opts := cliOptions{missrates: *missrates, jsonOut: *jsonOut}
+	opts.cfg = locsched.DefaultConfig()
 	if *scale > 0 {
-		cfg.Workload.Scale = *scale
+		opts.cfg.Workload.Scale = *scale
 	}
 	if *cores > 0 {
-		cfg.Machine.Cores = *cores
+		opts.cfg.Machine.Cores = *cores
 	}
 	if *quantum > 0 {
-		cfg.Quantum = *quantum
+		opts.cfg.Quantum = *quantum
 	}
 	if *par > 0 {
-		cfg.Workers = *par
+		opts.cfg.Workers = *par
 	}
 	if *affinity >= 0 {
-		cfg.Affinity = *affinity
+		opts.cfg.Affinity = *affinity
 	}
 	if *qbatch >= 0 {
-		cfg.QBatch = *qbatch
+		opts.cfg.QBatch = *qbatch
 	}
 	if *adecay >= 0 {
-		cfg.AffinityDecay = *adecay
+		opts.cfg.AffinityDecay = *adecay
 	}
-	cfg.Machine.FlatStreams = *flat
-	var policies []locsched.Policy
+	opts.cfg.Machine.FlatStreams = *flat
+
 	if *extended {
-		policies = locsched.ExtendedPolicies()
+		opts.policies = locsched.ExtendedPolicies()
 	}
 	if *policyList != "" {
-		policies = nil
+		opts.policies = nil
 		for _, part := range strings.Split(*policyList, ",") {
 			part = strings.TrimSpace(part)
 			if part == "" {
@@ -117,182 +193,185 @@ func main() {
 			}
 			p, err := locsched.ParsePolicy(part)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "locsched:", err)
-				os.Exit(2)
+				return usageErr(err)
 			}
-			policies = append(policies, p)
+			opts.policies = append(opts.policies, p)
 		}
 	}
 
-	cmd := flag.Arg(0)
-	var run func(name string) error
-	run = func(name string) error {
-		switch name {
-		case "table1":
-			out, err := locsched.FormatTable1(cfg.Workload)
-			if err != nil {
-				return err
-			}
-			fmt.Println(out)
-		case "table2":
-			fmt.Println(locsched.FormatTable2(cfg))
-		case "fig6":
-			t, err := locsched.Figure6(cfg, policies)
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				return locsched.WriteTableJSON(os.Stdout, t)
-			}
-			fmt.Println(locsched.FormatTable(t))
-			if *missrates {
-				fmt.Println(locsched.FormatMissRates(t))
-			}
-		case "fig7":
-			t, err := locsched.Figure7(cfg, policies)
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				return locsched.WriteTableJSON(os.Stdout, t)
-			}
-			fmt.Println(locsched.FormatTable(t))
-			if *missrates {
-				fmt.Println(locsched.FormatMissRates(t))
-			}
-		case "fig7xl":
-			points, err := parseXLPoints(*xlPoints)
-			if err != nil {
-				return err
-			}
-			t, err := locsched.Figure7XL(cfg, points, policies)
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				return locsched.WriteTableJSON(os.Stdout, t)
-			}
-			fmt.Println(locsched.FormatTable(t))
-			if *missrates {
-				fmt.Println(locsched.FormatMissRates(t))
-			}
-		case "sweepxl":
-			sizes, err := parseInt64List(*xlSizes)
-			if err != nil {
-				return fmt.Errorf("-xlsizes: %w", err)
-			}
-			for i := range sizes {
-				sizes[i] *= 1024
-			}
-			assocs, err := parseIntList(*xlAssoc)
-			if err != nil {
-				return fmt.Errorf("-xlassoc: %w", err)
-			}
-			penalties, err := parseInt64List(*xlMiss)
-			if err != nil {
-				return fmt.Errorf("-xlmiss: %w", err)
-			}
-			s, err := locsched.SweepXL(cfg, sizes, assocs, penalties, policies)
-			if err != nil {
-				return err
-			}
-			fmt.Println(locsched.FormatSweep(s))
-		case "affinity":
-			windows, err := parseIntList(*aWindows)
-			if err != nil {
-				return fmt.Errorf("-awindows: %w", err)
-			}
-			batches, err := parseIntList(*aBatches)
-			if err != nil {
-				return fmt.Errorf("-abatches: %w", err)
-			}
-			s, err := locsched.AblationAffinity(cfg, windows, batches)
-			if err != nil {
-				return err
-			}
-			fmt.Println(locsched.FormatSweep(s))
-		case "sweep":
-			if err := sweeps(cfg); err != nil {
-				return err
-			}
-		case "ablate":
-			if err := ablations(cfg); err != nil {
-				return err
-			}
-		case "all":
-			for _, n := range []string{"table1", "table2", "fig6", "fig7", "sweep", "ablate"} {
-				if err := run(n); err != nil {
-					return err
-				}
-			}
-		default:
-			usage()
-			os.Exit(2)
+	// Parse the list flags eagerly — all have static defaults, so any
+	// error is necessarily the user's value.
+	var err error
+	if *xlMax > 0 {
+		if opts.xlPoints, err = locsched.XLLadder(*xlMax); err != nil {
+			return usageErr(fmt.Errorf("-xlmax: %w", err))
+		}
+	} else if opts.xlPoints, err = parseXLPoints(*xlPoints); err != nil {
+		return usageErr(err)
+	}
+	if opts.xlSizes, err = parseInt64List(*xlSizes, 1); err != nil {
+		return usageErr(fmt.Errorf("-xlsizes: %w", err))
+	}
+	for i := range opts.xlSizes {
+		opts.xlSizes[i] *= 1024
+	}
+	if opts.xlAssoc, err = parseIntList(*xlAssoc, 1); err != nil {
+		return usageErr(fmt.Errorf("-xlassoc: %w", err))
+	}
+	if opts.xlMiss, err = parseInt64List(*xlMiss, 1); err != nil {
+		return usageErr(fmt.Errorf("-xlmiss: %w", err))
+	}
+	if opts.aWindows, err = parseIntList(*aWindows, 0); err != nil {
+		return usageErr(fmt.Errorf("-awindows: %w", err))
+	}
+	if opts.aBatches, err = parseIntList(*aBatches, 0); err != nil {
+		return usageErr(fmt.Errorf("-abatches: %w", err))
+	}
+
+	cmd := fs.Arg(0)
+	if !knownCommand(cmd) {
+		fs.Usage()
+		return 2
+	}
+	if err := dispatch(cmd, opts, stdout); err != nil {
+		fmt.Fprintln(stderr, "locsched:", err)
+		return 1
+	}
+	return 0
+}
+
+// knownCommand reports whether cmd names a locsched subcommand.
+func knownCommand(cmd string) bool {
+	switch cmd {
+	case "table1", "table2", "fig6", "fig7", "fig7xl", "sweepxl", "affinity", "sweep", "ablate", "all":
+		return true
+	}
+	return false
+}
+
+// dispatch runs one (validated) command against stdout.
+func dispatch(cmd string, opts cliOptions, stdout io.Writer) error {
+	cfg := opts.cfg
+	printTable := func(t *locsched.Table) error {
+		if opts.jsonOut {
+			return locsched.WriteTableJSON(stdout, t)
+		}
+		fmt.Fprintln(stdout, locsched.FormatTable(t))
+		if opts.missrates {
+			fmt.Fprintln(stdout, locsched.FormatMissRates(t))
 		}
 		return nil
 	}
-	if err := run(cmd); err != nil {
-		fmt.Fprintln(os.Stderr, "locsched:", err)
-		os.Exit(1)
+	switch cmd {
+	case "table1":
+		out, err := locsched.FormatTable1(cfg.Workload)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, out)
+	case "table2":
+		fmt.Fprintln(stdout, locsched.FormatTable2(cfg))
+	case "fig6":
+		t, err := locsched.Figure6(cfg, opts.policies)
+		if err != nil {
+			return err
+		}
+		return printTable(t)
+	case "fig7":
+		t, err := locsched.Figure7(cfg, opts.policies)
+		if err != nil {
+			return err
+		}
+		return printTable(t)
+	case "fig7xl":
+		t, err := locsched.Figure7XL(cfg, opts.xlPoints, opts.policies)
+		if err != nil {
+			return err
+		}
+		return printTable(t)
+	case "sweepxl":
+		s, err := locsched.SweepXL(cfg, opts.xlSizes, opts.xlAssoc, opts.xlMiss, opts.policies)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, locsched.FormatSweep(s))
+	case "affinity":
+		s, err := locsched.AblationAffinity(cfg, opts.aWindows, opts.aBatches)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, locsched.FormatSweep(s))
+	case "sweep":
+		return sweeps(cfg, stdout)
+	case "ablate":
+		return ablations(cfg, stdout)
+	case "all":
+		for _, n := range []string{"table1", "table2", "fig6", "fig7", "sweep", "ablate"} {
+			if err := dispatch(n, opts, stdout); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
-func sweeps(cfg locsched.Config) error {
+func sweeps(cfg locsched.Config, stdout io.Writer) error {
 	pols := []locsched.Policy{locsched.RS, locsched.LS, locsched.LSM}
 	cs, err := locsched.SweepCacheSize(cfg, []int64{4 << 10, 8 << 10, 16 << 10, 32 << 10}, pols)
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatSweep(cs))
+	fmt.Fprintln(stdout, locsched.FormatSweep(cs))
 	as, err := locsched.SweepAssociativity(cfg, []int{1, 2, 4, 8}, pols)
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatSweep(as))
+	fmt.Fprintln(stdout, locsched.FormatSweep(as))
 	co, err := locsched.SweepCores(cfg, []int{2, 4, 8, 16}, pols)
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatSweep(co))
+	fmt.Fprintln(stdout, locsched.FormatSweep(co))
 	qs, err := locsched.SweepQuantum(cfg, []int64{512, 2048, 8192, 32768})
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatSweep(qs))
+	fmt.Fprintln(stdout, locsched.FormatSweep(qs))
 	mp, err := locsched.SweepMissPenalty(cfg, []int64{25, 75, 150, 300}, pols)
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatSweep(mp))
+	fmt.Fprintln(stdout, locsched.FormatSweep(mp))
 	return nil
 }
 
-func ablations(cfg locsched.Config) error {
+func ablations(cfg locsched.Config, stdout io.Writer) error {
 	sm, err := locsched.AblationStaticMode(cfg, 4)
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatSweep(sm))
+	fmt.Fprintln(stdout, locsched.FormatSweep(sm))
 	rp, err := locsched.AblationReplacement(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatSweep(rp))
+	fmt.Fprintln(stdout, locsched.FormatSweep(rp))
 	ix, err := locsched.AblationIndexing(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatSweep(ix))
+	fmt.Fprintln(stdout, locsched.FormatSweep(ix))
 	rows, err := locsched.GreedyQuality(cfg, cfg.Machine.Cores)
 	if err != nil {
 		return err
 	}
-	fmt.Println(locsched.FormatGreedyQuality(rows, cfg.Machine.Cores))
+	fmt.Fprintln(stdout, locsched.FormatGreedyQuality(rows, cfg.Machine.Cores))
 	return nil
 }
 
-// parseIntList parses a comma-separated list of integers.
-func parseIntList(s string) ([]int, error) {
+// parseIntList parses a comma-separated list of integers, each at least
+// floor.
+func parseIntList(s string, floor int) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -303,6 +382,9 @@ func parseIntList(s string) ([]int, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bad integer %q", part)
 		}
+		if v < floor {
+			return nil, fmt.Errorf("value %d must be at least %d", v, floor)
+		}
 		out = append(out, v)
 	}
 	if len(out) == 0 {
@@ -311,9 +393,10 @@ func parseIntList(s string) ([]int, error) {
 	return out, nil
 }
 
-// parseInt64List parses a comma-separated list of 64-bit integers.
-func parseInt64List(s string) ([]int64, error) {
-	vs, err := parseIntList(s)
+// parseInt64List parses a comma-separated list of 64-bit integers, each
+// at least floor.
+func parseInt64List(s string, floor int) ([]int64, error) {
+	vs, err := parseIntList(s, floor)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +407,8 @@ func parseInt64List(s string) ([]int64, error) {
 	return out, nil
 }
 
-// parseXLPoints parses "cores:tasks,cores:tasks,..." ladders.
+// parseXLPoints parses "cores:tasks,cores:tasks,..." ladders; every
+// cores and tasks count must be positive.
 func parseXLPoints(s string) ([]locsched.XLPoint, error) {
 	var out []locsched.XLPoint
 	for _, part := range strings.Split(s, ",") {
@@ -344,6 +428,9 @@ func parseXLPoints(s string) ([]locsched.XLPoint, error) {
 		if err != nil {
 			return nil, fmt.Errorf("-xlpoints: bad task count %q", ts)
 		}
+		if cores <= 0 || tasks <= 0 {
+			return nil, fmt.Errorf("-xlpoints: point %q: cores and tasks must be positive", part)
+		}
 		out = append(out, locsched.XLPoint{Cores: cores, Tasks: tasks})
 	}
 	if len(out) == 0 {
@@ -352,12 +439,12 @@ func parseXLPoints(s string) ([]locsched.XLPoint, error) {
 	return out, nil
 }
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: locsched [flags] <command>
+func usage(fs *flag.FlagSet, stderr io.Writer) {
+	fmt.Fprintf(stderr, `usage: locsched [flags] <command>
 
 commands: table1 table2 fig6 fig7 sweep ablate all fig7xl sweepxl affinity
 
 flags:
 `)
-	flag.PrintDefaults()
+	fs.PrintDefaults()
 }

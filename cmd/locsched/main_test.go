@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation is the usage-error table: every nonsensical flag
+// value must fail at parse time with exit code 2 and a message naming
+// the flag, before any experiment starts.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of stderr
+	}{
+		{"negative scale", []string{"-scale", "-1", "table2"}, "-scale"},
+		{"negative cores", []string{"-cores", "-8", "table2"}, "-cores"},
+		{"negative quantum", []string{"-quantum", "-2048", "table2"}, "-quantum"},
+		{"negative par", []string{"-par", "-2", "fig6"}, "-par"},
+		{"negative affinity", []string{"-affinity", "-5", "fig6"}, "-affinity"},
+		{"negative qbatch", []string{"-qbatch", "-3", "fig6"}, "-qbatch"},
+		{"negative adecay", []string{"-adecay", "-100", "fig6"}, "-adecay"},
+		{"zero-core xlpoint", []string{"-xlpoints", "0:4", "fig7xl"}, "cores and tasks must be positive"},
+		{"zero-task xlpoint", []string{"-xlpoints", "64:0", "fig7xl"}, "cores and tasks must be positive"},
+		{"malformed xlpoint", []string{"-xlpoints", "64", "fig7xl"}, "not cores:tasks"},
+		{"empty xlpoints", []string{"-xlpoints", ",", "fig7xl"}, "empty ladder"},
+		{"negative xlmax", []string{"-xlmax", "-512", "fig7xl"}, "-xlmax"},
+		{"tiny xlmax", []string{"-xlmax", "16", "fig7xl"}, "at least 32"},
+		{"zero xlsize", []string{"-xlsizes", "0,8", "sweepxl"}, "-xlsizes"},
+		{"negative xlassoc", []string{"-xlassoc", "-2", "sweepxl"}, "-xlassoc"},
+		{"zero xlmiss", []string{"-xlmiss", "0", "sweepxl"}, "-xlmiss"},
+		{"negative awindow", []string{"-awindows", "-1,4", "affinity"}, "-awindows"},
+		{"negative abatch", []string{"-abatches", "-4", "affinity"}, "-abatches"},
+		{"unknown policy", []string{"-policy", "bogus", "fig6"}, "unknown policy"},
+		{"unknown command", []string{"frobnicate"}, "usage:"},
+		{"missing command", nil, "usage:"},
+		{"two commands", []string{"fig6", "fig7"}, "usage:"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(c.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("run(%q) = %d, want usage error (2); stderr: %s", c.args, code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.wantErr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), c.wantErr)
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("usage error still produced output: %q", stdout.String())
+			}
+		})
+	}
+}
+
+// TestFlagValidationAccepts pins the valid edges of the same flags: the
+// -1 "use default" sentinels and zero "unset" values must not trip the
+// validators (table2 is the cheapest command that exercises the full
+// config pipeline).
+func TestFlagValidationAccepts(t *testing.T) {
+	cases := [][]string{
+		{"table2"},
+		{"-scale", "0", "-cores", "0", "-quantum", "0", "-par", "0", "table2"},
+		{"-affinity", "-1", "-qbatch", "-1", "-adecay", "-1", "table2"},
+		{"-affinity", "0", "-qbatch", "0", "-adecay", "0", "table2"},
+		{"-cores", "512", "-xlmax", "0", "table2"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Errorf("run(%q) = %d, want 0; stderr: %s", args, code, stderr.String())
+		}
+	}
+}
+
+// TestXLMaxLadder: -xlmax builds the doubling ladder (checked through
+// table2 so no simulation runs; the ladder itself is validated, and the
+// fig7xl path is covered by the experiment package's tests).
+func TestXLMaxLadder(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-xlmax", "512", "table2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-xlmax 512 rejected: %s", stderr.String())
+	}
+}
+
+// TestTable1Output: a real command end to end through the testable entry
+// point.
+func TestTable1Output(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"table1"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("table1 failed (%d): %s", code, stderr.String())
+	}
+	for _, want := range []string{"Med-Im04", "MxM", "Radar", "Shape", "Track", "Usonic"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}

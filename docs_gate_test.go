@@ -16,7 +16,10 @@ var godocGatedFiles = []string{
 	"internal/cache/runs.go",
 	"internal/trace/rle.go",
 	"internal/experiment/runnerpool.go",
+	"internal/experiment/fingerprint.go",
 	"internal/sched/affinity.go",
+	"internal/sched/locality.go",
+	"internal/sharing/parallel.go",
 }
 
 func TestGodocGate(t *testing.T) {

@@ -137,6 +137,17 @@ func (s *Set) Max() (int64, bool) {
 	return s.runs[len(s.runs)-1].Hi - 1, true
 }
 
+// Bounds returns the half-open bounding interval [min, max+1) of the set;
+// ok is false for the empty set. Two sets whose bounds do not overlap are
+// provably disjoint, which lets pairwise-intersection sweeps (the sharing
+// matrix) reject most pairs in O(1) without a run-level merge.
+func (s *Set) Bounds() (Run, bool) {
+	if len(s.runs) == 0 {
+		return Run{}, false
+	}
+	return Run{Lo: s.runs[0].Lo, Hi: s.runs[len(s.runs)-1].Hi}, true
+}
+
 // Intersect returns the set of elements present in both sets.
 func (s *Set) Intersect(o *Set) *Set {
 	var out []Run

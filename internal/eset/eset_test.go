@@ -301,3 +301,34 @@ func TestQuickIntersectCommutes(t *testing.T) {
 		}
 	}
 }
+
+func TestBounds(t *testing.T) {
+	if _, ok := Empty().Bounds(); ok {
+		t.Error("empty set reported bounds")
+	}
+	s := FromRuns(Run{10, 20}, Run{40, 45}, Run{100, 101})
+	b, ok := s.Bounds()
+	if !ok || b != (Run{10, 101}) {
+		t.Errorf("Bounds() = %v, %v; want [10,101), true", b, ok)
+	}
+	// Disjoint bounds imply empty intersection (the property the blocked
+	// sharing matrix relies on for O(1) pair rejection).
+	o := FromRuns(Run{101, 200})
+	ob, _ := o.Bounds()
+	if b.Lo < ob.Hi && ob.Lo < b.Hi {
+		t.Fatalf("bounds %v and %v overlap unexpectedly", b, ob)
+	}
+	if got := s.IntersectCard(o); got != 0 {
+		t.Errorf("disjoint-bounded sets intersect: %d", got)
+	}
+	// Overlapping bounds are necessary but not sufficient: the sweep must
+	// still merge runs, never conclude sharing from bounds alone.
+	p := FromRuns(Run{21, 39})
+	pb, _ := p.Bounds()
+	if !(b.Lo < pb.Hi && pb.Lo < b.Hi) {
+		t.Fatalf("bounds %v and %v should overlap", b, pb)
+	}
+	if got := s.IntersectCard(p); got != 0 {
+		t.Errorf("hole-dwelling set intersects: %d", got)
+	}
+}

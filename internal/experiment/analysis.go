@@ -2,7 +2,6 @@ package experiment
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"locsched/internal/cache"
@@ -17,11 +16,19 @@ import (
 // layout and cache geometry); experiments re-run the same EPG under many
 // policies, parameter points, and benchmark iterations, so recomputing
 // the analysis per run dominated cells whose simulation is fast. Entries
-// are keyed structurally — the ordered (process ID, spec pointer) list
-// plus the edge lists — and each entry retains its graph, so a key's
-// spec pointers can never alias a later, reallocated spec.
+// are keyed on content fingerprints (graphFingerprint/layoutFingerprint),
+// so content-equal workloads arriving as fresh objects — JSON reloads,
+// rebuilt mixes — hit instead of recomputing; the intern layer guarantees
+// at most one live object family per content class, so cached values
+// (which embed ProcIDs, and for LSM array pointers) stay valid for every
+// hit.
 //
-// The cache is bounded; when full it is cleared wholesale (analysis is
+// The cache is bounded by a single budget across the three tiers, and
+// eviction is coherent: when the budget is exceeded all tiers clear
+// together. The tiers were previously cleared independently, so a figure
+// run could evict the matrix tier mid-cell while its ls/lsm tiers
+// survived, silently recomputing matrices once per remaining policy —
+// clearing wholesale keeps the tiers' lifetimes aligned (analysis is
 // cheap to recompute; the cap only guards unbounded growth when callers
 // churn through fresh graphs, as construction-heavy benchmarks do).
 var analysisCache = struct {
@@ -29,16 +36,30 @@ var analysisCache = struct {
 	matrix map[string]*matrixEntry
 	ls     map[string]*lsEntry
 	lsm    map[string]*lsmEntry
+	stats  analysisStats
 }{
 	matrix: make(map[string]*matrixEntry),
 	ls:     make(map[string]*lsEntry),
 	lsm:    make(map[string]*lsmEntry),
 }
 
-const maxAnalysisEntries = 64
+// maxAnalysisEntries budgets the total entry count across the matrix,
+// ls, and lsm tiers. It is a variable only so eviction tests can shrink
+// it; production code must treat it as a constant.
+var maxAnalysisEntries = 192
+
+// analysisStats counts per-tier hits and misses plus coherent
+// evictions; the cache-behaviour tests pin figure-run hit patterns
+// against it.
+type analysisStats struct {
+	MatrixHits, MatrixMisses int64
+	LSHits, LSMisses         int64
+	LSMHits, LSMMisses       int64
+	Evictions                int64
+}
 
 type matrixEntry struct {
-	g *taskgraph.Graph // retained: keeps the key's spec pointers unique
+	g *taskgraph.Graph // retained: the canonical graph the matrix was computed on
 	m *sharing.Matrix
 }
 
@@ -53,58 +74,60 @@ type lsmEntry struct {
 	mapping *sched.MappingResult
 }
 
-// graphKey fingerprints the EPG structurally: every process (ID and spec
-// identity) with its successor list, in deterministic order. Two graphs
-// with equal keys have identical scheduling inputs even when the Graph
-// values themselves are distinct (workload.Combine builds a fresh graph
-// per call from shared specs).
-func graphKey(g *taskgraph.Graph) string {
-	var b strings.Builder
-	b.Grow(32 * g.Len())
-	for _, id := range g.ProcIDs() {
-		fmt.Fprintf(&b, "%d.%d:%p", id.Task, id.Idx, g.Process(id).Spec)
-		for _, s := range g.Succs(id) {
-			fmt.Fprintf(&b, ">%d.%d", s.Task, s.Idx)
-		}
-		b.WriteByte(';')
-	}
-	return b.String()
+// analysisStatsSnapshot returns the current counters.
+func analysisStatsSnapshot() analysisStats {
+	analysisCache.Lock()
+	defer analysisCache.Unlock()
+	return analysisCache.stats
 }
 
-// layoutKey extends a graph key with the identity of a base layout and
-// cache geometry — everything the LSM mapping phase depends on beyond
-// the EPG.
-func layoutKey(gk string, cores int, base layout.AddressMap, geom cache.Geometry) string {
-	var b strings.Builder
-	b.Grow(len(gk) + 32*len(base.Arrays()))
-	b.WriteString(gk)
-	fmt.Fprintf(&b, "|cores=%d|geom=%d,%d,%d|", cores, geom.Size, geom.BlockSize, geom.Assoc)
-	for _, arr := range base.Arrays() {
-		fmt.Fprintf(&b, "%p@%d;", arr, base.Addr(arr, 0))
-	}
-	return b.String()
+// clearAnalysisCache wipes every tier (coherently) and is also invoked
+// when the intern table evicts, so analysis entries never outlive the
+// canonical object family they were computed on.
+func clearAnalysisCache() {
+	analysisCache.Lock()
+	analysisCache.matrix = make(map[string]*matrixEntry)
+	analysisCache.ls = make(map[string]*lsEntry)
+	analysisCache.lsm = make(map[string]*lsmEntry)
+	analysisCache.Unlock()
 }
 
-// cachedMatrix returns the (possibly memoized) sharing matrix of g. The
+// evictAnalysisIfFullLocked clears all three tiers together when the
+// shared budget is exhausted. Callers hold analysisCache.Mutex.
+func evictAnalysisIfFullLocked() {
+	if len(analysisCache.matrix)+len(analysisCache.ls)+len(analysisCache.lsm) >= maxAnalysisEntries {
+		analysisCache.matrix = make(map[string]*matrixEntry)
+		analysisCache.ls = make(map[string]*lsEntry)
+		analysisCache.lsm = make(map[string]*lsmEntry)
+		analysisCache.stats.Evictions++
+	}
+}
+
+// cachedMatrix returns the (possibly memoized) sharing matrix of g,
+// building misses with the blocked parallel construction on `workers`
+// goroutines (bit-identical to the sequential path for any count). The
 // graph is frozen first: a cached analysis is valid only for the exact
 // structure it was keyed on, so post-construction mutation is rejected
 // by taskgraph instead of silently invalidating entries.
-func cachedMatrix(g *taskgraph.Graph, gk string) (*sharing.Matrix, error) {
+func cachedMatrix(g *taskgraph.Graph, gk string, workers int) (*sharing.Matrix, error) {
 	g.Freeze()
 	analysisCache.Lock()
 	e, ok := analysisCache.matrix[gk]
+	if ok {
+		analysisCache.stats.MatrixHits++
+	} else {
+		analysisCache.stats.MatrixMisses++
+	}
 	analysisCache.Unlock()
 	if ok {
 		return e.m, nil
 	}
-	m, err := sharing.ComputeMatrix(g)
+	m, err := sharing.ComputeMatrixParallel(g, workers)
 	if err != nil {
 		return nil, err
 	}
 	analysisCache.Lock()
-	if len(analysisCache.matrix) >= maxAnalysisEntries {
-		analysisCache.matrix = make(map[string]*matrixEntry)
-	}
+	evictAnalysisIfFullLocked()
 	analysisCache.matrix[gk] = &matrixEntry{g: g, m: m}
 	analysisCache.Unlock()
 	return m, nil
@@ -112,17 +135,22 @@ func cachedMatrix(g *taskgraph.Graph, gk string) (*sharing.Matrix, error) {
 
 // cachedLS returns the (possibly memoized) LS assignment for g on the
 // given core count.
-func cachedLS(g *taskgraph.Graph, cores int) (*sched.Assignment, error) {
+func cachedLS(g *taskgraph.Graph, cores, workers int) (*sched.Assignment, error) {
 	g.Freeze()
-	gk := graphKey(g)
+	gk := graphFingerprint(g).fp
 	key := fmt.Sprintf("%s|cores=%d", gk, cores)
 	analysisCache.Lock()
 	e, ok := analysisCache.ls[key]
+	if ok {
+		analysisCache.stats.LSHits++
+	} else {
+		analysisCache.stats.LSMisses++
+	}
 	analysisCache.Unlock()
 	if ok {
 		return e.asg, nil
 	}
-	m, err := cachedMatrix(g, gk)
+	m, err := cachedMatrix(g, gk, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -131,27 +159,46 @@ func cachedLS(g *taskgraph.Graph, cores int) (*sched.Assignment, error) {
 		return nil, err
 	}
 	analysisCache.Lock()
-	if len(analysisCache.ls) >= maxAnalysisEntries {
-		analysisCache.ls = make(map[string]*lsEntry)
-	}
+	evictAnalysisIfFullLocked()
 	analysisCache.ls[key] = &lsEntry{g: g, asg: asg}
 	analysisCache.Unlock()
 	return asg, nil
 }
 
+// lsmKey extends a graph fingerprint with the machine shape and the base
+// layout's content — everything the LSM mapping phase depends on beyond
+// the EPG.
+func lsmKey(gk string, cores int, base layout.AddressMap, geom cache.Geometry) string {
+	return fmt.Sprintf("%s|cores=%d|geom=%d,%d,%d|%s",
+		gk, cores, geom.Size, geom.BlockSize, geom.Assoc, layoutFingerprint(base))
+}
+
 // cachedLSM returns the (possibly memoized) LSM mapping — assignment plus
-// re-laid-out address map — for g on the given machine.
-func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache.Geometry) (*sched.MappingResult, error) {
+// re-laid-out address map — for g on the given machine. Unlike the
+// matrix and ls tiers (whose values are ProcID-only and therefore valid
+// for any content-equal graph), an LSM mapping embeds array and layout
+// pointers, so a hit additionally requires the entry's exact (graph,
+// base) objects: the intern layer makes that the common case, and the
+// identity check keeps a stale-family entry (e.g. one raced in around
+// an intern eviction) from ever mixing object families — it reads as a
+// miss and is overwritten.
+func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache.Geometry, workers int) (*sched.MappingResult, error) {
 	g.Freeze()
-	gk := graphKey(g)
-	key := layoutKey(gk, cores, base, geom)
+	gk := graphFingerprint(g).fp
+	key := lsmKey(gk, cores, base, geom)
 	analysisCache.Lock()
 	e, ok := analysisCache.lsm[key]
+	ok = ok && e.g == g && e.base == base
+	if ok {
+		analysisCache.stats.LSMHits++
+	} else {
+		analysisCache.stats.LSMMisses++
+	}
 	analysisCache.Unlock()
 	if ok {
 		return e.mapping, nil
 	}
-	m, err := cachedMatrix(g, gk)
+	m, err := cachedMatrix(g, gk, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -160,9 +207,7 @@ func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache
 		return nil, err
 	}
 	analysisCache.Lock()
-	if len(analysisCache.lsm) >= maxAnalysisEntries {
-		analysisCache.lsm = make(map[string]*lsmEntry)
-	}
+	evictAnalysisIfFullLocked()
 	analysisCache.lsm[key] = &lsmEntry{g: g, base: base, mapping: mapping}
 	analysisCache.Unlock()
 	return mapping, nil

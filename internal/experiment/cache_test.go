@@ -1,0 +1,197 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"locsched/internal/layout"
+	"locsched/internal/mpsoc"
+	"locsched/internal/workload"
+)
+
+// resetCachesForTest clears every content-addressed cache and its
+// counters so hit-pattern assertions see only the test's own traffic.
+func resetCachesForTest() {
+	clearAnalysisCache()
+	analysisCache.Lock()
+	analysisCache.stats = analysisStats{}
+	analysisCache.Unlock()
+	clearRunnerPool()
+	runnerPool.Lock()
+	runnerPool.hits = 0
+	runnerPool.Unlock()
+	workloadIntern.Lock()
+	workloadIntern.m = make(map[string]*internEntry)
+	workloadIntern.hits = 0
+	workloadIntern.Unlock()
+}
+
+const reloadSpec = `{
+  "tasks": [
+    {
+      "name": "producer-consumer",
+      "arrays": [{"name": "A", "elems": 4096}, {"name": "B", "elems": 2048}],
+      "procs": [
+        {"name": "produce", "iter_lo": 0, "iter_hi": 1024, "compute": 2,
+         "refs": [{"array": "A", "kind": "w", "stride": 1, "offset": 0}], "deps": []},
+        {"name": "consume", "iter_lo": 0, "iter_hi": 1024, "compute": 1,
+         "refs": [{"array": "A", "kind": "r", "stride": 1, "offset": 0},
+                  {"array": "B", "kind": "w", "stride": 1, "offset": 0}], "deps": [0]}
+      ]
+    },
+    {
+      "name": "scanner",
+      "arrays": [{"name": "C", "elems": 8192}],
+      "procs": [
+        {"name": "scan", "iter_lo": 0, "iter_hi": 2048, "compute": 1,
+         "refs": [{"array": "C", "kind": "r", "stride": 2, "offset": 1}], "deps": []}
+      ]
+    }
+  ]
+}`
+
+// TestRunnerPoolContentAddressedReload is the regression test for the
+// ROADMAP-noted pooling bug: loading the same JSON task set twice used
+// to produce pointer-distinct graphs that missed every pool. With
+// content-addressed keys (plus workload interning) the second load's
+// runs must be served from the pools populated by the first.
+func TestRunnerPoolContentAddressedReload(t *testing.T) {
+	resetCachesForTest()
+	cfg := DefaultConfig()
+	cfg.Machine.Cores = 4
+
+	run := func() *RunResult {
+		t.Helper()
+		apps, err := workload.FromJSON(strings.NewReader(reloadSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunMix(apps, LS, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	first := run()
+	if h := runnerPoolHits(); h != 0 {
+		t.Fatalf("first load already hit the runner pool %d times", h)
+	}
+	second := run()
+	if h := runnerPoolHits(); h != 1 {
+		t.Errorf("second JSON load: runner pool hits = %d, want 1 (reload must reuse the parked runner)", h)
+	}
+	st := analysisStatsSnapshot()
+	if st.LSMisses != 1 || st.LSHits != 1 {
+		t.Errorf("LS analysis: misses=%d hits=%d, want 1 miss (first load) and 1 hit (reload)",
+			st.LSMisses, st.LSHits)
+	}
+	if first.Cycles != second.Cycles || first.Hits != second.Hits || first.Misses != second.Misses {
+		t.Errorf("reload changed results: %+v vs %+v", first, second)
+	}
+
+	workloadIntern.Lock()
+	interned := workloadIntern.hits
+	workloadIntern.Unlock()
+	if interned == 0 {
+		t.Error("second load was not interned onto the first load's canonical workload")
+	}
+}
+
+// TestAnalysisHitPatternFigure6 pins the analysis-cache hit pattern of a
+// figure run: each application's matrix is computed exactly once (LS
+// misses it in, LSM hits it), and a complete re-run — which rebuilds
+// every app as fresh, content-equal objects — is served entirely from
+// the ls/lsm tiers without touching the matrix tier again.
+func TestAnalysisHitPatternFigure6(t *testing.T) {
+	resetCachesForTest()
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+	cfg.Workers = 1 // sequential cells: the hit pattern is deterministic
+
+	if _, err := Figure6(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := analysisStatsSnapshot()
+	want := analysisStats{
+		MatrixHits: 6, MatrixMisses: 6, // LS misses, LSM hits, one pair per app
+		LSMisses:  6,
+		LSMMisses: 6,
+	}
+	if st != want {
+		t.Fatalf("first fig6 run: stats %+v, want %+v", st, want)
+	}
+
+	if _, err := Figure6(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = analysisStatsSnapshot()
+	want.LSHits, want.LSMHits = 6, 6 // second run: pure hits, no matrix traffic
+	if st != want {
+		t.Fatalf("second fig6 run: stats %+v, want %+v (no analysis may be recomputed)", st, want)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("fig6 runs evicted the analysis cache %d times", st.Evictions)
+	}
+}
+
+// TestAnalysisCacheCoherentEviction: when the shared budget overflows,
+// all three tiers clear together — the matrix tier can no longer be
+// evicted out from under surviving ls/lsm entries.
+func TestAnalysisCacheCoherentEviction(t *testing.T) {
+	resetCachesForTest()
+	orig := maxAnalysisEntries
+	maxAnalysisEntries = 3
+	defer func() { maxAnalysisEntries = orig; resetCachesForTest() }()
+
+	app1, err := workload.Build("Shape", 0, workload.Params{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, err := workload.Build("Track", 1, workload.Params{Scale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base1, err := layout.Pack(32, app1.Arrays...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := mpsoc.DefaultConfig().Cache
+
+	// app1 fills the budget: matrix + ls + lsm = 3 entries.
+	if _, err := cachedLS(app1.Graph, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cachedLSM(app1.Graph, 4, base1, geom, 1); err != nil {
+		t.Fatal(err)
+	}
+	sizes := func() (m, ls, lsm int) {
+		analysisCache.Lock()
+		defer analysisCache.Unlock()
+		return len(analysisCache.matrix), len(analysisCache.ls), len(analysisCache.lsm)
+	}
+	if m, ls, lsm := sizes(); m != 1 || ls != 1 || lsm != 1 {
+		t.Fatalf("after app1: tiers (%d,%d,%d), want (1,1,1)", m, ls, lsm)
+	}
+
+	// app2's matrix insert overflows the budget: every tier must clear
+	// together before the insert, leaving exactly app2's fresh entries.
+	if _, err := cachedLS(app2.Graph, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m, ls, lsm := sizes(); m != 1 || ls != 1 || lsm != 0 {
+		t.Fatalf("after coherent eviction: tiers (%d,%d,%d), want (1,1,0) — app1 entries must not survive in any tier", m, ls, lsm)
+	}
+	if st := analysisStatsSnapshot(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// The evicted graph recomputes coherently: a hit pattern consistent
+	// with an empty cache, not a half-evicted one.
+	if _, err := cachedLS(app1.Graph, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := analysisStatsSnapshot()
+	if st.LSHits != 0 {
+		t.Fatalf("app1 LS after eviction reported a hit; tiers evicted incoherently (stats %+v)", st)
+	}
+}

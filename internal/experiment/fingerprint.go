@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"locsched/internal/layout"
+	"locsched/internal/prog"
+	"locsched/internal/taskgraph"
+)
+
+// Content addressing. The analysis cache, the LSM mapping cache, and the
+// runner pool used to key on pointer identity of graphs, specs, arrays,
+// and address maps. That works for the built-in workload builders (their
+// outputs are memoized, so pointers are stable) but misses every time a
+// content-equal workload arrives as fresh objects — most visibly when
+// LoadApps re-reads the same JSON task set, which rebuilt every pool on
+// every reload (the ROADMAP-noted bug). This file replaces identity with
+// content:
+//
+//   - graphFingerprint hashes everything the scheduling analysis depends
+//     on: every process (ID, name, iteration space, compute cost, and
+//     references — kind, access map, and the referenced array's content
+//     AND its aliasing structure, i.e. which references resolve to the
+//     same array object) plus the dependence edges;
+//   - layoutFingerprint hashes an address map's observable behaviour:
+//     each array's content and its closed-form address formula (or base
+//     address for non-compilable maps) plus the mapped extent;
+//   - internWorkload canonicalizes (graph, arrays) pairs: the first
+//     object family seen for a fingerprint becomes canonical and every
+//     content-equal arrival is swapped for it before any analysis or
+//     simulation runs. Downstream caches therefore normally see one
+//     object family per content class, which is what makes sharing
+//     cached LSM layouts and pooled runners (both of which embed array
+//     pointers) across reloads *land*; their soundness is enforced
+//     independently by per-entry identity checks (cachedLSM,
+//     pooledRunner), so no interleaving of interning and eviction can
+//     mix object families.
+//
+// Fingerprints are memoized per object (graphs are frozen first, so the
+// hashed structure cannot change afterwards); the memos and the intern
+// table are bounded, and intern eviction wipes the dependent caches so a
+// later canonical family can never mix with entries built on an earlier
+// one.
+
+// workFingerprint is a graph's content hash plus the dense index
+// assigned to every distinct array object at first use (the aliasing
+// structure, reused to fingerprint array lists consistently).
+type workFingerprint struct {
+	fp     string
+	arrIdx map[*prog.Array]int
+}
+
+var fpMemo = struct {
+	sync.Mutex
+	m map[*taskgraph.Graph]*workFingerprint
+}{m: make(map[*taskgraph.Graph]*workFingerprint)}
+
+// maxFingerprintMemo bounds the per-graph fingerprint memo. Clearing it
+// is harmless (fingerprints are pure functions of content).
+const maxFingerprintMemo = 256
+
+// hashArray writes one array's content.
+func hashArray(h io.Writer, ai int, arr *prog.Array) {
+	fmt.Fprintf(h, "A%d=%s/%v/%d;", ai, arr.Name, arr.Dims, arr.Elem)
+}
+
+// graphFingerprint freezes the graph and returns its (memoized) content
+// fingerprint.
+func graphFingerprint(g *taskgraph.Graph) *workFingerprint {
+	g.Freeze()
+	fpMemo.Lock()
+	e, ok := fpMemo.m[g]
+	fpMemo.Unlock()
+	if ok {
+		return e
+	}
+	h := sha256.New()
+	arrIdx := make(map[*prog.Array]int)
+	for _, id := range g.ProcIDs() {
+		spec := g.Process(id).Spec
+		fmt.Fprintf(h, "P%d.%d|%s|c%d|%s|", id.Task, id.Idx, spec.Name, spec.ComputePerIter, spec.IterSpace)
+		for _, r := range spec.Refs {
+			ai, ok := arrIdx[r.Array]
+			if !ok {
+				ai = len(arrIdx)
+				arrIdx[r.Array] = ai
+				hashArray(h, ai, r.Array)
+			}
+			fmt.Fprintf(h, "r%d@%d:%s|", r.Kind, ai, r.Map)
+		}
+		for _, s := range g.Succs(id) {
+			fmt.Fprintf(h, ">%d.%d", s.Task, s.Idx)
+		}
+		io.WriteString(h, ";")
+	}
+	e = &workFingerprint{fp: hex.EncodeToString(h.Sum(nil)), arrIdx: arrIdx}
+	fpMemo.Lock()
+	if prior, ok := fpMemo.m[g]; ok {
+		e = prior
+	} else {
+		if len(fpMemo.m) >= maxFingerprintMemo {
+			fpMemo.m = make(map[*taskgraph.Graph]*workFingerprint)
+		}
+		fpMemo.m[g] = e
+	}
+	fpMemo.Unlock()
+	return e
+}
+
+var layoutFPMemo = struct {
+	sync.Mutex
+	m map[layout.AddressMap]string
+}{m: make(map[layout.AddressMap]string)}
+
+// layoutFingerprint returns the (memoized) content fingerprint of an
+// address map: per-array content plus the closed-form address formula
+// when the map can state one (Packed and Relayouted both can), or the
+// element-0 address otherwise, plus the total mapped extent.
+func layoutFingerprint(am layout.AddressMap) string {
+	layoutFPMemo.Lock()
+	fp, ok := layoutFPMemo.m[am]
+	layoutFPMemo.Unlock()
+	if ok {
+		return fp
+	}
+	h := sha256.New()
+	compiler, _ := am.(layout.AddrCompiler)
+	for i, arr := range am.Arrays() {
+		hashArray(h, i, arr)
+		if compiler != nil {
+			if f, ok := compiler.CompileAddr(arr); ok {
+				fmt.Fprintf(h, "f%d,%d,%d,%d;", f.Base, f.Elem, f.Page, f.Bank)
+				continue
+			}
+		}
+		fmt.Fprintf(h, "@%d;", am.Addr(arr, 0))
+	}
+	fmt.Fprintf(h, "|size=%d", am.Size())
+	fp = hex.EncodeToString(h.Sum(nil))
+	layoutFPMemo.Lock()
+	if len(layoutFPMemo.m) >= maxFingerprintMemo {
+		layoutFPMemo.m = make(map[layout.AddressMap]string)
+	}
+	layoutFPMemo.m[am] = fp
+	layoutFPMemo.Unlock()
+	return fp
+}
+
+// internEntry is one canonical (graph, arrays) family.
+type internEntry struct {
+	g      *taskgraph.Graph
+	arrays []*prog.Array
+}
+
+var workloadIntern = struct {
+	sync.Mutex
+	m    map[string]*internEntry
+	hits int64
+}{m: make(map[string]*internEntry)}
+
+// maxInternEntries bounds the canonical-family table.
+const maxInternEntries = 64
+
+// internKey extends a graph fingerprint with the array list: each entry's
+// content plus its dense index in the graph's aliasing structure (-1 for
+// arrays the graph never references), so two workloads intern together
+// only when their array lists correspond object-for-object.
+func internKey(wf *workFingerprint, arrays []*prog.Array) string {
+	var b strings.Builder
+	b.Grow(len(wf.fp) + 24*len(arrays))
+	b.WriteString(wf.fp)
+	for _, arr := range arrays {
+		ai, ok := wf.arrIdx[arr]
+		if !ok {
+			ai = -1
+		}
+		fmt.Fprintf(&b, "|%d:%s/%v/%d", ai, arr.Name, arr.Dims, arr.Elem)
+	}
+	return b.String()
+}
+
+// internWorkload canonicalizes a (graph, arrays) pair by content: the
+// first family seen for a fingerprint is retained and returned for every
+// content-equal call, so every downstream cache — base-layout packing,
+// the analysis tiers, the runner pool — keys on one object family per
+// content class. The incoming graph is frozen either way (its structure
+// has been analyzed, if only to fingerprint it). When the intern table
+// overflows, the dependent caches are wiped with it as hygiene, so
+// entries built on an evicted canonical family do not linger; in-flight
+// cells of the old family may still insert afterwards, which is safe
+// because the pointer-carrying caches validate entry identity on every
+// hit (a stale-family entry reads as a miss and is replaced).
+func internWorkload(g *taskgraph.Graph, arrays []*prog.Array) (*taskgraph.Graph, []*prog.Array) {
+	wf := graphFingerprint(g)
+	key := internKey(wf, arrays)
+	workloadIntern.Lock()
+	if e, ok := workloadIntern.m[key]; ok {
+		if e.g != g {
+			workloadIntern.hits++
+		}
+		workloadIntern.Unlock()
+		return e.g, e.arrays
+	}
+	evict := len(workloadIntern.m) >= maxInternEntries
+	if evict {
+		workloadIntern.m = make(map[string]*internEntry)
+	}
+	workloadIntern.m[key] = &internEntry{g: g, arrays: append([]*prog.Array(nil), arrays...)}
+	workloadIntern.Unlock()
+	if evict {
+		clearAnalysisCache()
+		clearRunnerPool()
+	}
+	return g, arrays
+}

@@ -13,43 +13,80 @@ import (
 )
 
 // Runner reuse. mpsoc.NewRunner builds per-core caches and trace
-// cursors; at 128 cores that construction (and the garbage it leaves)
+// cursors; at 128+ cores that construction (and the garbage it leaves)
 // rivals the simulation itself, and experiments re-run the same
 // (graph, layout, machine) triple once per policy, parameter point, and
 // benchmark iteration. Runners reset cheaply between runs, so finished
 // cells park theirs here and later cells with the same key take it over
-// instead of rebuilding. Keys use pointer identity of the graph and
-// address map — stable because mixes and base layouts are themselves
-// memoized below and LSM layouts come from the analysis cache — plus the
-// comparable machine config. Entries retain their graph and map, so a
-// key can never alias reallocated structures.
+// instead of rebuilding. Keys are content-addressed — the graph and
+// address-map fingerprints of fingerprint.go plus the comparable machine
+// config — so content-equal workloads arriving as fresh objects (JSON
+// reloads via LoadApps, rebuilt mixes) reuse parked runners instead of
+// missing every pool, which pointer-identity keys did. The intern layer
+// keeps one live object family per content class, which is what makes
+// the content key hit; object consistency itself is enforced per entry
+// (pooledRunner's identity check), so no interleaving of interning and
+// eviction can wire a runner to a foreign object family.
 //
 // The pool is bounded; when full it is cleared wholesale (runners are
 // cheap to rebuild, the cap only guards retained memory under churn).
 var runnerPool = struct {
 	sync.Mutex
-	m map[runnerKey][]*mpsoc.Runner
-	n int
-}{m: make(map[runnerKey][]*mpsoc.Runner)}
+	m    map[runnerKey][]pooledRunner
+	n    int
+	hits int64
+}{m: make(map[runnerKey][]pooledRunner)}
 
 type runnerKey struct {
-	g   *taskgraph.Graph
-	am  layout.AddressMap
-	cfg mpsoc.Config
+	gfp  string
+	amfp string
+	cfg  mpsoc.Config
+}
+
+// pooledRunner retains the exact objects the runner was built on: a
+// content-keyed hit additionally requires identity, so a stale-family
+// runner (e.g. parked around an intern eviction) is discarded instead
+// of being wired to a different object family.
+type pooledRunner struct {
+	r  *mpsoc.Runner
+	g  *taskgraph.Graph
+	am layout.AddressMap
 }
 
 const maxPooledRunners = 64
 
-// takeRunner returns a pooled runner for the triple or builds one.
-func takeRunner(g *taskgraph.Graph, am layout.AddressMap, cfg mpsoc.Config) (*mpsoc.Runner, error) {
-	key := runnerKey{g, am, cfg}
+// clearRunnerPool empties the pool; invoked on intern eviction so parked
+// runners never outlive the canonical object family they were built on.
+func clearRunnerPool() {
 	runnerPool.Lock()
-	if rs := runnerPool.m[key]; len(rs) > 0 {
-		r := rs[len(rs)-1]
+	runnerPool.m = make(map[runnerKey][]pooledRunner)
+	runnerPool.n = 0
+	runnerPool.Unlock()
+}
+
+// runnerPoolHits returns the number of takeRunner calls served from the
+// pool (the content-addressing regression tests pin it).
+func runnerPoolHits() int64 {
+	runnerPool.Lock()
+	defer runnerPool.Unlock()
+	return runnerPool.hits
+}
+
+// takeRunner returns a pooled runner for the triple or builds one. A
+// parked runner is reused only when it was built on exactly the objects
+// asked for (see pooledRunner); mismatched entries are dropped.
+func takeRunner(g *taskgraph.Graph, am layout.AddressMap, cfg mpsoc.Config) (*mpsoc.Runner, error) {
+	key := runnerKey{graphFingerprint(g).fp, layoutFingerprint(am), cfg}
+	runnerPool.Lock()
+	for rs := runnerPool.m[key]; len(rs) > 0; rs = runnerPool.m[key] {
+		p := rs[len(rs)-1]
 		runnerPool.m[key] = rs[:len(rs)-1]
 		runnerPool.n--
-		runnerPool.Unlock()
-		return r, nil
+		if p.g == g && p.am == am {
+			runnerPool.hits++
+			runnerPool.Unlock()
+			return p.r, nil
+		}
 	}
 	runnerPool.Unlock()
 	return mpsoc.NewRunner(g, am, cfg)
@@ -57,13 +94,13 @@ func takeRunner(g *taskgraph.Graph, am layout.AddressMap, cfg mpsoc.Config) (*mp
 
 // putRunner parks a runner for reuse.
 func putRunner(g *taskgraph.Graph, am layout.AddressMap, cfg mpsoc.Config, r *mpsoc.Runner) {
-	key := runnerKey{g, am, cfg}
+	key := runnerKey{graphFingerprint(g).fp, layoutFingerprint(am), cfg}
 	runnerPool.Lock()
 	if runnerPool.n >= maxPooledRunners {
-		runnerPool.m = make(map[runnerKey][]*mpsoc.Runner)
+		runnerPool.m = make(map[runnerKey][]pooledRunner)
 		runnerPool.n = 0
 	}
-	runnerPool.m[key] = append(runnerPool.m[key], r)
+	runnerPool.m[key] = append(runnerPool.m[key], pooledRunner{r: r, g: g, am: am})
 	runnerPool.n++
 	runnerPool.Unlock()
 }

@@ -3,11 +3,15 @@ package experiment
 // This file holds the large-scale evaluation scenarios. The paper stops
 // at 8 cores and six concurrent tasks; the compiled-trace engines make
 // much bigger settings cheap, so this adds the XL layer the ROADMAP
-// calls for: generated multi-program mixes on 32–128-core machines
-// (Figure7XL) and a dense cache-geometry × miss-penalty grid over the
-// full Table 1 mix (SweepXL). Both fan cells out on the Config.Workers
-// pool and are bit-identical across the flat and RLE simulation engines
-// (enforced by the differential tests).
+// calls for: generated multi-program mixes on 32–1024-core machines
+// (Figure7XL over DefaultXLPoints or an XLLadder extension) and a dense
+// cache-geometry × miss-penalty grid over the full Table 1 mix
+// (SweepXL). Both fan cells out on the Config.Workers pool and are
+// bit-identical across the flat and RLE simulation engines (enforced by
+// the differential tests). The 512/1024-core points are what the blocked
+// parallel sharing matrix and the incremental LocalitySchedule were
+// built for: at those scales the scheduling analysis, not the cache
+// simulation, used to dominate cell setup.
 
 import (
 	"fmt"
@@ -29,6 +33,22 @@ func (p XLPoint) String() string { return fmt.Sprintf("%dc/|T|=%d", p.Cores, p.T
 // (tasks = cores/4, i.e. up to ~600 processes at the top point).
 func DefaultXLPoints() []XLPoint {
 	return []XLPoint{{Cores: 32, Tasks: 8}, {Cores: 64, Tasks: 16}, {Cores: 128, Tasks: 32}}
+}
+
+// XLLadder returns the doubling scenario ladder 32, 64, …, maxCores with
+// proportionally growing generated mixes (tasks = cores/4): the
+// 256/512/1024-core extension of DefaultXLPoints (XLLadder(1024) tops
+// out at a 256-task mix, ~5000 processes). maxCores below 32 is
+// rejected; a maxCores between rungs stops at the last doubled rung.
+func XLLadder(maxCores int) ([]XLPoint, error) {
+	if maxCores < 32 {
+		return nil, fmt.Errorf("experiment: XL ladder max %d must be at least 32 cores", maxCores)
+	}
+	var pts []XLPoint
+	for c := 32; c <= maxCores; c *= 2 {
+		pts = append(pts, XLPoint{Cores: c, Tasks: c / 4})
+	}
+	return pts, nil
 }
 
 // Figure7XL scales the paper's Figure 7 to large machines: each point

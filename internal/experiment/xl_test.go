@@ -164,3 +164,49 @@ func TestBuildMany(t *testing.T) {
 		seen[arr.Name] = true
 	}
 }
+
+// TestXLLadder: the doubling 32..maxCores extension of the default
+// ladder, with tasks = cores/4.
+func TestXLLadder(t *testing.T) {
+	pts, err := XLLadder(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []XLPoint{
+		{Cores: 32, Tasks: 8}, {Cores: 64, Tasks: 16}, {Cores: 128, Tasks: 32},
+		{Cores: 256, Tasks: 64}, {Cores: 512, Tasks: 128}, {Cores: 1024, Tasks: 256},
+	}
+	if !reflect.DeepEqual(pts, want) {
+		t.Errorf("XLLadder(1024) = %v, want %v", pts, want)
+	}
+	if pts, err = XLLadder(100); err != nil || !reflect.DeepEqual(pts, want[:2]) {
+		t.Errorf("XLLadder(100) = %v, %v; want the 32/64 rungs", pts, err)
+	}
+	if _, err := XLLadder(16); err == nil {
+		t.Error("XLLadder(16) succeeded, want an error below 32 cores")
+	}
+}
+
+// TestFigure7XL512Point: a single 512-core cell end to end under LS —
+// the acceptance point of the analysis-scaling work. The mix is reduced
+// (scale 1, LS only) to keep the suite quick while still covering the
+// full 512-core pipeline: blocked matrix, incremental schedule, pooled
+// runner.
+func TestFigure7XL512Point(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-core simulation in -short mode")
+	}
+	cfg := xlTestConfig()
+	cfg.Workers = 4
+	tbl, err := Figure7XL(cfg, []XLPoint{{Cores: 512, Tasks: 128}}, []Policy{LS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(tbl.Rows))
+	}
+	r := tbl.Rows[0].Results[LS]
+	if r == nil || r.Cycles <= 0 {
+		t.Fatalf("512-core LS cell produced no result: %+v", r)
+	}
+}

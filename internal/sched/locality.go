@@ -1,9 +1,8 @@
 package sched
 
 import (
-	"cmp"
 	"fmt"
-	"slices"
+	"sort"
 
 	"locsched/internal/cache"
 	"locsched/internal/layout"
@@ -33,6 +32,18 @@ import (
 // service, and with heterogeneous sizes it keeps the per-core lists
 // duration-balanced, which the paper's count-balanced rounds implicitly
 // assume. The result is deterministic.
+//
+// This is the incremental formulation built for 512–1024-core scenarios:
+// readiness is tracked with per-process unscheduled-predecessor counters
+// and a sorted candidate array maintained as processes retire (so each
+// placement scans only the ready set instead of re-sorting and
+// re-filtering the whole pool), the first-quantum deferral maintains the
+// per-candidate sharing row sums across removals instead of recomputing
+// the O(|IN|²) totals per round, and sharing lookups go through matrix
+// positions instead of map probes. It is bit-identical to the retained
+// reference implementation, LocalityScheduleRescan, for every input —
+// the differential tests pin both across the Table 1 apps and generated
+// XL mixes.
 func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assignment, error) {
 	if cores <= 0 {
 		return nil, fmt.Errorf("sched: cores %d must be positive", cores)
@@ -44,17 +55,54 @@ func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assign
 		return nil, fmt.Errorf("sched: nil sharing matrix")
 	}
 
-	cost := make(map[taskgraph.ProcID]int64, g.Len())
-	for _, p := range g.Processes() {
-		acc, err := p.Spec.Accesses()
+	ids := g.ProcIDs()
+	n := len(ids)
+	li := make(map[taskgraph.ProcID]int, n) // ID -> local index (sorted-ID order)
+	for i, id := range ids {
+		li[id] = i
+	}
+
+	// Per-process state, indexed locally: matrix position (-1 when the
+	// matrix does not cover the process — then it shares 0 with everyone,
+	// matching Matrix.Shared), estimated cost, successor lists, and
+	// unscheduled-predecessor counters.
+	pos := make([]int, n)
+	cost := make([]int64, n)
+	succs := make([][]int32, n)
+	pending := make([]int32, n)
+	for i, id := range ids {
+		if p, ok := m.Index(id); ok {
+			pos[i] = p
+		} else {
+			pos[i] = -1
+		}
+		spec := g.Process(id).Spec
+		acc, err := spec.Accesses()
 		if err != nil {
 			return nil, err
 		}
-		iters, err := p.Spec.Iterations()
+		iters, err := spec.Iterations()
 		if err != nil {
 			return nil, err
 		}
-		cost[p.ID] = acc + iters*p.Spec.ComputePerIter
+		cost[i] = acc + iters*spec.ComputePerIter
+		ss := g.Succs(id)
+		lst := make([]int32, len(ss))
+		for k, s := range ss {
+			lst[k] = int32(li[s])
+		}
+		succs[i] = lst
+	}
+	for i := range succs {
+		for _, s := range succs[i] {
+			pending[s]++
+		}
+	}
+	shared := func(a, b int) int64 {
+		if pos[a] < 0 || pos[b] < 0 {
+			return 0
+		}
+		return m.SharedAt(pos[a], pos[b])
 	}
 
 	// rank = longest remaining dependence chain. The paper's greedy
@@ -65,162 +113,153 @@ func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assign
 	if err != nil {
 		return nil, err
 	}
-	rank := make(map[taskgraph.ProcID]int, len(topo))
+	rank := make([]int, n)
 	for i := len(topo) - 1; i >= 0; i-- {
-		id := topo[i]
+		t := li[topo[i]]
 		r := 0
-		for _, s := range g.Succs(id) {
+		for _, s := range succs[t] {
 			if rank[s]+1 > r {
 				r = rank[s] + 1
 			}
 		}
-		rank[id] = r
+		rank[t] = r
 	}
 
-	scheduled := make(map[taskgraph.ProcID]bool, g.Len())
-	inPool := make(map[taskgraph.ProcID]bool, g.Len())
-	for _, id := range g.ProcIDs() {
-		inPool[id] = true
+	inPool := make([]bool, n)
+	for i := range inPool {
+		inPool[i] = true
 	}
 
-	// IN: independent processes, candidates for the first quantum.
-	in := g.Roots()
-	for _, id := range in {
-		delete(inPool, id)
+	// IN: independent processes (pending == 0, ascending index — the same
+	// order g.Roots() yields), candidates for the first quantum.
+	var in []int
+	for i := 0; i < n; i++ {
+		if pending[i] == 0 {
+			in = append(in, i)
+		}
 	}
-	for len(in) > cores {
+	for _, i := range in {
+		inPool[i] = false
+	}
+	if len(in) > cores {
 		// Defer the candidate with maximum total sharing with the others;
 		// ties defer the shallowest remaining chain, keeping chain heads
-		// in the first quantum.
-		victim := -1
-		var worst int64 = -1
-		for i, p := range in {
+		// in the first quantum. rowSum[x] = Σ_y shared(in[x], in[y]) is
+		// seeded once and maintained by subtraction as victims leave, so
+		// the loop is O(|IN|²) total instead of O(|IN|³).
+		rowSum := make([]int64, len(in))
+		for x, p := range in {
 			var total int64
-			for j, q := range in {
-				if i != j {
-					total += m.Shared(p, q)
+			for y, q := range in {
+				if x != y {
+					total += shared(p, q)
 				}
 			}
-			switch {
-			case total > worst:
-				worst = total
-				victim = i
-			case total == worst && victim >= 0 && rank[p] < rank[in[victim]]:
-				victim = i
-			}
+			rowSum[x] = total
 		}
-		deferred := in[victim]
-		in = append(in[:victim], in[victim+1:]...)
-		inPool[deferred] = true
+		for len(in) > cores {
+			victim := -1
+			var worst int64 = -1
+			for x, p := range in {
+				total := rowSum[x]
+				switch {
+				case total > worst:
+					worst = total
+					victim = x
+				case total == worst && victim >= 0 && rank[p] < rank[in[victim]]:
+					victim = x
+				}
+			}
+			deferred := in[victim]
+			in = append(in[:victim], in[victim+1:]...)
+			rowSum = append(rowSum[:victim], rowSum[victim+1:]...)
+			for x, p := range in {
+				rowSum[x] -= shared(p, deferred)
+			}
+			inPool[deferred] = true
+		}
 	}
 
 	asg := &Assignment{PerCore: make([][]taskgraph.ProcID, cores)}
 	load := make([]int64, cores)
-	for i, id := range in {
-		asg.PerCore[i] = append(asg.PerCore[i], id)
-		load[i] += cost[id]
-		scheduled[id] = true
+	last := make([]int, cores) // local index of each core's last process
+	for k := range last {
+		last[k] = -1
+	}
+	remaining := 0
+	for _, p := range inPool {
+		if p {
+			remaining++
+		}
 	}
 
-	// Main loop: the least-loaded core picks the eligible process with
-	// maximum sharing with its previously scheduled process. The order and
-	// candidate scratch slices are allocated once and reused across
-	// iterations (the loop runs once per process).
-	remaining := len(inPool)
-	order := make([]int, cores)
-	candidates := make([]taskgraph.ProcID, 0, remaining)
-	for remaining > 0 {
-		progress := false
-		for _, k := range coresByLoad(load, order) {
-			q, ok := pickNext(g, m, rank, asg.PerCore[k], inPool, scheduled, &candidates)
-			if !ok {
-				continue
-			}
-			asg.PerCore[k] = append(asg.PerCore[k], q)
-			load[k] += cost[q]
-			scheduled[q] = true
-			delete(inPool, q)
-			remaining--
-			progress = true
-			break
+	// ready: the candidate ordering — pool processes whose predecessors
+	// are all scheduled, as ascending local indices (≡ ascending ProcID).
+	// Seeded with the deferred roots, then maintained as processes
+	// retire: scheduling a process decrements its successors' pending
+	// counters, and counters hitting zero insert in order.
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if inPool[i] && pending[i] == 0 {
+			ready = append(ready, i)
 		}
-		if !progress {
+	}
+	retire := func(i int) {
+		for _, s := range succs[i] {
+			pending[s]--
+			if pending[s] == 0 && inPool[s] {
+				at := sort.SearchInts(ready, int(s))
+				ready = append(ready, 0)
+				copy(ready[at+1:], ready[at:])
+				ready[at] = int(s)
+			}
+		}
+	}
+	for k, i := range in {
+		asg.PerCore[k] = append(asg.PerCore[k], ids[i])
+		load[k] += cost[i]
+		last[k] = i
+		retire(i)
+	}
+
+	// Main loop: the least-loaded core (ties toward the lower index)
+	// appends the ready process with maximum sharing with its last one;
+	// sharing ties break toward the deepest remaining chain, then the
+	// smallest ID (the ready array is scanned in ID order). One placement
+	// costs O(|ready| + cores + out-degree).
+	for remaining > 0 {
+		if len(ready) == 0 {
 			return nil, fmt.Errorf("sched: no eligible process among %d remaining (graph inconsistent?)", remaining)
 		}
-	}
-	return asg, nil
-}
-
-// coresByLoad fills idx with core indices ordered by ascending
-// accumulated load, ties toward the lower index.
-func coresByLoad(load []int64, idx []int) []int {
-	for i := range idx {
-		idx[i] = i
-	}
-	slices.SortFunc(idx, func(a, b int) int {
-		if c := cmp.Compare(load[a], load[b]); c != 0 {
-			return c
-		}
-		return cmp.Compare(a, b)
-	})
-	return idx
-}
-
-// pickNext selects the unscheduled process all of whose predecessors are
-// scheduled, maximizing sharing with the core's last process. Sharing
-// ties break toward the deepest remaining chain, then the smallest ID.
-// scratch is a reusable candidate buffer (see sortedIDs).
-func pickNext(g *taskgraph.Graph, m *sharing.Matrix, rank map[taskgraph.ProcID]int,
-	coreList []taskgraph.ProcID, pool map[taskgraph.ProcID]bool,
-	scheduled map[taskgraph.ProcID]bool, scratch *[]taskgraph.ProcID) (taskgraph.ProcID, bool) {
-
-	var prev taskgraph.ProcID
-	hasPrev := len(coreList) > 0
-	if hasPrev {
-		prev = coreList[len(coreList)-1]
-	}
-	best := taskgraph.ProcID{}
-	var bestShare int64 = -1
-	bestRank := -1
-	found := false
-	for _, q := range sortedIDs(pool, scratch) {
-		eligible := true
-		for _, p := range g.Preds(q) {
-			if !scheduled[p] {
-				eligible = false
-				break
+		k := 0
+		for c := 1; c < cores; c++ {
+			if load[c] < load[k] {
+				k = c
 			}
 		}
-		if !eligible {
-			continue
+		prev := last[k]
+		bestX := -1
+		var bestShare int64 = -1
+		bestRank := -1
+		for x, q := range ready {
+			var share int64
+			if prev >= 0 {
+				share = shared(prev, q)
+			}
+			if bestX < 0 || share > bestShare || (share == bestShare && rank[q] > bestRank) {
+				bestX, bestShare, bestRank = x, share, rank[q]
+			}
 		}
-		var share int64
-		if hasPrev {
-			share = m.Shared(prev, q)
-		}
-		if !found || share > bestShare || (share == bestShare && rank[q] > bestRank) {
-			best, bestShare, bestRank, found = q, share, rank[q], true
-		}
+		q := ready[bestX]
+		ready = append(ready[:bestX], ready[bestX+1:]...)
+		asg.PerCore[k] = append(asg.PerCore[k], ids[q])
+		load[k] += cost[q]
+		last[k] = q
+		inPool[q] = false
+		remaining--
+		retire(q)
 	}
-	return best, found
-}
-
-func sortedIDs(pool map[taskgraph.ProcID]bool, scratch *[]taskgraph.ProcID) []taskgraph.ProcID {
-	out := (*scratch)[:0]
-	for id := range pool {
-		out = append(out, id)
-	}
-	slices.SortFunc(out, func(a, b taskgraph.ProcID) int {
-		if a.Less(b) {
-			return -1
-		}
-		if b.Less(a) {
-			return 1
-		}
-		return 0
-	})
-	*scratch = out
-	return out
+	return asg, nil
 }
 
 // NewLS builds the LS dispatcher: the Figure 3 schedule replayed
@@ -236,19 +275,25 @@ func NewLS(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Static, *Assignme
 // MappingResult carries what the LSM pipeline derived beyond the
 // schedule.
 type MappingResult struct {
+	// Assignment is the LS schedule the mapping phase was derived from.
 	Assignment *Assignment
-	Conflicts  *layout.ConflictMatrix
-	Threshold  int64
-	Banks      map[*prog.Array]int64
-	Layout     *layout.Relayouted
-	// PressureBefore/After record the static thrash pressure of the base
-	// and final layouts; Verified reports whether the mapping achieved a
-	// strict improvement (otherwise Banks is empty and Layout behaves
-	// like the base layout — the mapping phase must never make things
-	// worse).
+	// Conflicts is the co-access conflict matrix of Figure 5.
+	Conflicts *layout.ConflictMatrix
+	// Threshold is the conflict weight above which pairs were separated.
+	Threshold int64
+	// Banks records the chosen half-page bank per re-laid-out array.
+	Banks map[*prog.Array]int64
+	// Layout is the transformed address map handed to the simulator.
+	Layout *layout.Relayouted
+	// PressureBefore and PressureAfter record the static thrash pressure
+	// of the base and final layouts.
 	PressureBefore int64
-	PressureAfter  int64
-	Verified       bool
+	// PressureAfter is the final layout's pressure (see PressureBefore).
+	PressureAfter int64
+	// Verified reports whether the mapping achieved a strict improvement
+	// (otherwise Banks is empty and Layout behaves like the base layout —
+	// the mapping phase must never make things worse).
+	Verified bool
 }
 
 // NewLSM builds the LSM dispatcher: the LS schedule plus the data-mapping

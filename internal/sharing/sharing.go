@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"locsched/internal/eset"
 	"locsched/internal/prog"
@@ -72,26 +73,50 @@ func ComputeDataSpace(spec *prog.ProcessSpec) (DataSpace, error) {
 }
 
 // Analyzer memoizes data spaces per process spec so that sharing matrices
-// over large EPGs reuse footprint computations.
+// over large EPGs reuse footprint computations. An Analyzer is safe for
+// concurrent use; the blocked matrix construction fans data-space
+// computation out over a worker pool against a shared Analyzer.
 type Analyzer struct {
+	mu    sync.Mutex
 	cache map[*prog.ProcessSpec]DataSpace
+	// sets deduplicates per-array element sets by content (iteration
+	// space, access maps, array shape): generated XL mixes repeat a few
+	// app templates across hundreds of tasks, and every repetition's
+	// sets are value-identical even though the array objects differ.
+	// Only the blocked parallel path consults it (dataSpaceDeduped), so
+	// the sequential path stays an independent enumeration-based oracle.
+	sets map[string]*eset.Set
 }
 
 // NewAnalyzer returns an empty analyzer.
 func NewAnalyzer() *Analyzer {
-	return &Analyzer{cache: make(map[*prog.ProcessSpec]DataSpace)}
+	return &Analyzer{
+		cache: make(map[*prog.ProcessSpec]DataSpace),
+		sets:  make(map[string]*eset.Set),
+	}
 }
 
 // DataSpace returns the (memoized) data space of the spec.
 func (a *Analyzer) DataSpace(spec *prog.ProcessSpec) (DataSpace, error) {
-	if ds, ok := a.cache[spec]; ok {
+	a.mu.Lock()
+	ds, ok := a.cache[spec]
+	a.mu.Unlock()
+	if ok {
 		return ds, nil
 	}
 	ds, err := ComputeDataSpace(spec)
 	if err != nil {
 		return nil, err
 	}
-	a.cache[spec] = ds
+	a.mu.Lock()
+	// Concurrent computes of the same spec are idempotent; first store wins
+	// so every caller observes one canonical DataSpace value.
+	if prior, ok := a.cache[spec]; ok {
+		ds = prior
+	} else {
+		a.cache[spec] = ds
+	}
+	a.mu.Unlock()
 	return ds, nil
 }
 
@@ -169,6 +194,20 @@ func (m *Matrix) Len() int { return len(m.ids) }
 func (m *Matrix) IDs() []taskgraph.ProcID {
 	return append([]taskgraph.ProcID(nil), m.ids...)
 }
+
+// Index returns the matrix position of a process ID in IDs() order; ok is
+// false for processes the matrix does not cover. Positions feed SharedAt,
+// which lets hot loops (the incremental scheduler) trade two map lookups
+// per Shared call for plain slice indexing.
+func (m *Matrix) Index(a taskgraph.ProcID) (int, bool) {
+	i, ok := m.pos[a]
+	return i, ok
+}
+
+// SharedAt returns the shared bytes between the processes at matrix
+// positions i and j (the diagonal holds footprints). Positions must come
+// from Index.
+func (m *Matrix) SharedAt(i, j int) int64 { return m.vals[i][j] }
 
 // Shared returns the shared bytes between two processes; 0 when either is
 // unknown.

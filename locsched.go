@@ -192,6 +192,14 @@ func ComputeSharing(g *Graph) (*SharingMatrix, error) {
 	return sharing.ComputeMatrix(g)
 }
 
+// ComputeSharingParallel builds the sharing matrix with the blocked,
+// parallel construction (tiled pair space, footprint-interval early
+// rejection, `workers` goroutines; ≤ 0 means GOMAXPROCS). The result is
+// bit-identical to ComputeSharing for every worker count.
+func ComputeSharingParallel(g *Graph, workers int) (*SharingMatrix, error) {
+	return sharing.ComputeMatrixParallel(g, workers)
+}
+
 // LocalitySchedule runs the Figure 3 greedy heuristic, returning the
 // static per-core order LS replays.
 func LocalitySchedule(g *Graph, m *SharingMatrix, cores int) (*Assignment, error) {
@@ -231,8 +239,14 @@ type XLPoint = experiment.XLPoint
 // with proportionally growing generated mixes.
 func DefaultXLPoints() []XLPoint { return experiment.DefaultXLPoints() }
 
+// XLLadder returns the doubling 32..maxCores scenario ladder with
+// proportionally growing generated mixes (tasks = cores/4) — the
+// 256/512/1024-core extension of DefaultXLPoints.
+func XLLadder(maxCores int) ([]XLPoint, error) { return experiment.XLLadder(maxCores) }
+
 // Figure7XL scales Figure 7 to large machines: generated multi-program
-// mixes on 32–128-core MPSoCs. Pass nil points for the default ladder.
+// mixes on 32–1024-core MPSoCs (see DefaultXLPoints and XLLadder). Pass
+// nil points for the default 32/64/128 ladder.
 func Figure7XL(cfg Config, points []XLPoint, policies []Policy) (*Table, error) {
 	return experiment.Figure7XL(cfg, points, policies)
 }
