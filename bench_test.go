@@ -290,7 +290,7 @@ func BenchmarkDataMapping(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := sched.NewLSM(epg, m, cfg.Machine.Cores, base, cfg.Machine.Cache, nil); err != nil {
+		if _, _, err := sched.NewLSM(epg, m, nil, cfg.Machine.Cores, base, cfg.Machine.Cache, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

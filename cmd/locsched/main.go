@@ -22,6 +22,15 @@
 // engines and the blocked scheduling analysis were built to afford, and
 // are deliberately not part of `all`.
 //
+// Two serving subcommands take their own flags after the command word
+// (unlike the figure commands above):
+//
+//	locsched serve [flags]               start the locschedd daemon in-process
+//	                                     (same flags as cmd/locschedd)
+//	locsched bench -serve URL [flags]    replay the mixed scenario stream
+//	                                     against a running daemon and report
+//	                                     req/s, cache-hit and coalesce rates
+//
 // Flags:
 //
 //	-scale N       workload scale factor (default 2)
@@ -60,8 +69,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"locsched"
+	"locsched/internal/server"
 )
 
 func main() {
@@ -86,7 +97,20 @@ type cliOptions struct {
 // run is the testable entry point: it parses and validates flags, then
 // dispatches the command. Exit codes: 0 success, 1 runtime failure,
 // 2 usage error.
+//
+// The serving subcommands are dispatched before figure-flag parsing:
+// they follow the conventional `command -flags` shape because their flag
+// sets (daemon tuning, load-generator tuning) share nothing with the
+// figure harness flags.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			return server.Main(args[1:], stdout, stderr)
+		case "bench":
+			return benchMain(args[1:], stdout, stderr)
+		}
+	}
 	fs := flag.NewFlagSet("locsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	scale := fs.Int("scale", 0, "workload scale factor (0 = default)")
@@ -439,8 +463,55 @@ func parseXLPoints(s string) ([]locsched.XLPoint, error) {
 	return out, nil
 }
 
+// benchMain is the `locsched bench` subcommand: the load generator that
+// replays the mixed scenario stream against a running locschedd.
+func benchMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("locsched bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	serveURL := fs.String("serve", "", "base URL of the target locschedd (required)")
+	conc := fs.Int("conc", 8, "concurrent client goroutines")
+	requests := fs.Int("requests", 200, "total stream requests to send")
+	scale := fs.Int("scale", 0, "workload scale the stream requests (0 = daemon default)")
+	timeout := fs.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
+	expectCache := fs.Bool("expect-cache", false, "exit nonzero unless cache hits AND coalesces were observed (CI assertion)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *serveURL == "" || fs.NArg() != 0 || *conc <= 0 || *requests <= 0 || *scale < 0 {
+		fmt.Fprintln(stderr, "locsched bench: usage: locsched bench -serve URL [-conc N] [-requests N] [-scale N] [-timeout D] [-expect-cache]")
+		return 2
+	}
+	rep, err := server.RunLoad(server.LoadConfig{
+		BaseURL:     *serveURL,
+		Concurrency: *conc,
+		Requests:    *requests,
+		Scale:       *scale,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "locsched bench:", err)
+		return 1
+	}
+	fmt.Fprint(stdout, rep.Format())
+	if rep.Errors > 0 {
+		fmt.Fprintf(stderr, "locsched bench: %d requests failed\n", rep.Errors)
+		return 1
+	}
+	if *expectCache && (rep.Stats.CacheHits == 0 || rep.Stats.Coalesced == 0) {
+		fmt.Fprintf(stderr, "locsched bench: expected nonzero cache hits and coalesces, got hits=%d coalesced=%d\n",
+			rep.Stats.CacheHits, rep.Stats.Coalesced)
+		return 1
+	}
+	return 0
+}
+
 func usage(fs *flag.FlagSet, stderr io.Writer) {
 	fmt.Fprintf(stderr, `usage: locsched [flags] <command>
+       locsched serve [flags]
+       locsched bench -serve URL [flags]
 
 commands: table1 table2 fig6 fig7 sweep ablate all fig7xl sweepxl affinity
 

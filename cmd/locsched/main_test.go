@@ -37,6 +37,13 @@ func TestFlagValidation(t *testing.T) {
 		{"unknown command", []string{"frobnicate"}, "usage:"},
 		{"missing command", nil, "usage:"},
 		{"two commands", []string{"fig6", "fig7"}, "usage:"},
+		{"bench without target", []string{"bench"}, "-serve URL"},
+		{"bench negative conc", []string{"bench", "-serve", "http://x", "-conc", "-1"}, "usage"},
+		{"bench zero requests", []string{"bench", "-serve", "http://x", "-requests", "0"}, "usage"},
+		{"bench stray arg", []string{"bench", "-serve", "http://x", "extra"}, "usage"},
+		{"serve zero queue", []string{"serve", "-queue", "0"}, "queue depth"},
+		{"serve zero workers", []string{"serve", "-workers", "0"}, "workers"},
+		{"serve stray arg", []string{"serve", "extra"}, "unexpected arguments"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

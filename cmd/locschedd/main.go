@@ -1,0 +1,36 @@
+// Command locschedd is the locality-aware scheduling experiment daemon:
+// a long-lived HTTP/JSON server wrapping the locsched experiment harness
+// behind a content-addressed result cache, a singleflight request
+// coalescer, and a bounded job queue with admission control.
+//
+// Endpoints:
+//
+//	POST /v1/run      one workload × policy simulation cell
+//	POST /v1/figure   a whole reproduced figure (fig6, fig7, fig7xl);
+//	                  byte-identical to `locsched -json <figure>`
+//	POST /v1/analysis scheduling analysis only (sharing matrix + LS)
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /statsz      request, cache, coalesce, and queue counters
+//
+// Identical in-flight requests execute once; repeats are served from the
+// result cache byte-for-byte. A full queue answers 429 with Retry-After
+// rather than buffering without bound, and SIGTERM drains gracefully.
+//
+// Usage:
+//
+//	locschedd [-addr HOST:PORT] [-queue N] [-workers N] [-expworkers N]
+//	          [-cache-entries N] [-cache-mb N] [-timeout D] [-drain D]
+//	          [-scale N]
+//
+// See `locsched bench -serve URL` for the matching load generator.
+package main
+
+import (
+	"os"
+
+	"locsched/internal/server"
+)
+
+func main() {
+	os.Exit(server.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

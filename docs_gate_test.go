@@ -17,9 +17,19 @@ var godocGatedFiles = []string{
 	"internal/trace/rle.go",
 	"internal/experiment/runnerpool.go",
 	"internal/experiment/fingerprint.go",
+	"internal/experiment/serve.go",
 	"internal/sched/affinity.go",
 	"internal/sched/locality.go",
 	"internal/sharing/parallel.go",
+	"internal/taskgraph/content.go",
+	"internal/server/server.go",
+	"internal/server/planner.go",
+	"internal/server/cache.go",
+	"internal/server/coalesce.go",
+	"internal/server/config.go",
+	"internal/server/stats.go",
+	"internal/server/loadgen.go",
+	"internal/server/cli.go",
 }
 
 func TestGodocGate(t *testing.T) {

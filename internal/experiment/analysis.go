@@ -16,7 +16,7 @@ import (
 // layout and cache geometry); experiments re-run the same EPG under many
 // policies, parameter points, and benchmark iterations, so recomputing
 // the analysis per run dominated cells whose simulation is fast. Entries
-// are keyed on content fingerprints (graphFingerprint/layoutFingerprint),
+// are keyed on content fingerprints (taskgraph.Content / layoutFingerprint),
 // so content-equal workloads arriving as fresh objects — JSON reloads,
 // rebuilt mixes — hit instead of recomputing; the intern layer guarantees
 // at most one live object family per content class, so cached values
@@ -137,7 +137,7 @@ func cachedMatrix(g *taskgraph.Graph, gk string, workers int) (*sharing.Matrix, 
 // given core count.
 func cachedLS(g *taskgraph.Graph, cores, workers int) (*sched.Assignment, error) {
 	g.Freeze()
-	gk := graphFingerprint(g).fp
+	gk := g.Fingerprint()
 	key := fmt.Sprintf("%s|cores=%d", gk, cores)
 	analysisCache.Lock()
 	e, ok := analysisCache.ls[key]
@@ -182,9 +182,14 @@ func lsmKey(gk string, cores int, base layout.AddressMap, geom cache.Geometry) s
 // identity check keeps a stale-family entry (e.g. one raced in around
 // an intern eviction) from ever mixing object families — it reads as a
 // miss and is overwritten.
+//
+// A miss obtains the LS assignment through cachedLS and threads it into
+// NewLSM, so LS+LSM figure columns on the same (graph, cores) run
+// LocalitySchedule (and the sharing matrix behind it) exactly once,
+// whichever policy's cell lands first.
 func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache.Geometry, workers int) (*sched.MappingResult, error) {
 	g.Freeze()
-	gk := graphFingerprint(g).fp
+	gk := g.Fingerprint()
 	key := lsmKey(gk, cores, base, geom)
 	analysisCache.Lock()
 	e, ok := analysisCache.lsm[key]
@@ -198,11 +203,11 @@ func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache
 	if ok {
 		return e.mapping, nil
 	}
-	m, err := cachedMatrix(g, gk, workers)
+	asg, err := cachedLS(g, cores, workers)
 	if err != nil {
 		return nil, err
 	}
-	_, mapping, err := sched.NewLSM(g, m, cores, base, geom, nil)
+	_, mapping, err := sched.NewLSM(g, nil, asg, cores, base, geom, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"io"
 	"strings"
 	"sync"
 
@@ -22,11 +21,12 @@ import (
 // every reload (the ROADMAP-noted bug). This file replaces identity with
 // content:
 //
-//   - graphFingerprint hashes everything the scheduling analysis depends
-//     on: every process (ID, name, iteration space, compute cost, and
-//     references — kind, access map, and the referenced array's content
-//     AND its aliasing structure, i.e. which references resolve to the
-//     same array object) plus the dependence edges;
+//   - graph fingerprints come from taskgraph.Content: the hash of every
+//     process (ID, name, iteration space, compute cost, and references —
+//     kind, access map, and the referenced array's content AND its
+//     aliasing structure) plus the dependence edges, computed once per
+//     graph and memoized on the graph itself (Freeze semantics make the
+//     memo final), so pool lookups never re-hash presburger strings;
 //   - layoutFingerprint hashes an address map's observable behaviour:
 //     each array's content and its closed-form address formula (or base
 //     address for non-compilable maps) plus the mapped extent;
@@ -41,76 +41,13 @@ import (
 //     pooledRunner), so no interleaving of interning and eviction can
 //     mix object families.
 //
-// Fingerprints are memoized per object (graphs are frozen first, so the
-// hashed structure cannot change afterwards); the memos and the intern
-// table are bounded, and intern eviction wipes the dependent caches so a
-// later canonical family can never mix with entries built on an earlier
-// one.
+// The layout-fingerprint memo and the intern table are bounded, and
+// intern eviction wipes the dependent caches so a later canonical family
+// can never mix with entries built on an earlier one.
 
-// workFingerprint is a graph's content hash plus the dense index
-// assigned to every distinct array object at first use (the aliasing
-// structure, reused to fingerprint array lists consistently).
-type workFingerprint struct {
-	fp     string
-	arrIdx map[*prog.Array]int
-}
-
-var fpMemo = struct {
-	sync.Mutex
-	m map[*taskgraph.Graph]*workFingerprint
-}{m: make(map[*taskgraph.Graph]*workFingerprint)}
-
-// maxFingerprintMemo bounds the per-graph fingerprint memo. Clearing it
-// is harmless (fingerprints are pure functions of content).
+// maxFingerprintMemo bounds the layout-fingerprint memo. Clearing it is
+// harmless (fingerprints are pure functions of content).
 const maxFingerprintMemo = 256
-
-// hashArray writes one array's content.
-func hashArray(h io.Writer, ai int, arr *prog.Array) {
-	fmt.Fprintf(h, "A%d=%s/%v/%d;", ai, arr.Name, arr.Dims, arr.Elem)
-}
-
-// graphFingerprint freezes the graph and returns its (memoized) content
-// fingerprint.
-func graphFingerprint(g *taskgraph.Graph) *workFingerprint {
-	g.Freeze()
-	fpMemo.Lock()
-	e, ok := fpMemo.m[g]
-	fpMemo.Unlock()
-	if ok {
-		return e
-	}
-	h := sha256.New()
-	arrIdx := make(map[*prog.Array]int)
-	for _, id := range g.ProcIDs() {
-		spec := g.Process(id).Spec
-		fmt.Fprintf(h, "P%d.%d|%s|c%d|%s|", id.Task, id.Idx, spec.Name, spec.ComputePerIter, spec.IterSpace)
-		for _, r := range spec.Refs {
-			ai, ok := arrIdx[r.Array]
-			if !ok {
-				ai = len(arrIdx)
-				arrIdx[r.Array] = ai
-				hashArray(h, ai, r.Array)
-			}
-			fmt.Fprintf(h, "r%d@%d:%s|", r.Kind, ai, r.Map)
-		}
-		for _, s := range g.Succs(id) {
-			fmt.Fprintf(h, ">%d.%d", s.Task, s.Idx)
-		}
-		io.WriteString(h, ";")
-	}
-	e = &workFingerprint{fp: hex.EncodeToString(h.Sum(nil)), arrIdx: arrIdx}
-	fpMemo.Lock()
-	if prior, ok := fpMemo.m[g]; ok {
-		e = prior
-	} else {
-		if len(fpMemo.m) >= maxFingerprintMemo {
-			fpMemo.m = make(map[*taskgraph.Graph]*workFingerprint)
-		}
-		fpMemo.m[g] = e
-	}
-	fpMemo.Unlock()
-	return e
-}
 
 var layoutFPMemo = struct {
 	sync.Mutex
@@ -131,7 +68,7 @@ func layoutFingerprint(am layout.AddressMap) string {
 	h := sha256.New()
 	compiler, _ := am.(layout.AddrCompiler)
 	for i, arr := range am.Arrays() {
-		hashArray(h, i, arr)
+		taskgraph.HashArray(h, i, arr)
 		if compiler != nil {
 			if f, ok := compiler.CompileAddr(arr); ok {
 				fmt.Fprintf(h, "f%d,%d,%d,%d;", f.Base, f.Elem, f.Page, f.Bank)
@@ -170,12 +107,12 @@ const maxInternEntries = 64
 // content plus its dense index in the graph's aliasing structure (-1 for
 // arrays the graph never references), so two workloads intern together
 // only when their array lists correspond object-for-object.
-func internKey(wf *workFingerprint, arrays []*prog.Array) string {
+func internKey(c *taskgraph.Content, arrays []*prog.Array) string {
 	var b strings.Builder
-	b.Grow(len(wf.fp) + 24*len(arrays))
-	b.WriteString(wf.fp)
+	b.Grow(len(c.FP) + 24*len(arrays))
+	b.WriteString(c.FP)
 	for _, arr := range arrays {
-		ai, ok := wf.arrIdx[arr]
+		ai, ok := c.ArrayIndex[arr]
 		if !ok {
 			ai = -1
 		}
@@ -196,8 +133,7 @@ func internKey(wf *workFingerprint, arrays []*prog.Array) string {
 // because the pointer-carrying caches validate entry identity on every
 // hit (a stale-family entry reads as a miss and is replaced).
 func internWorkload(g *taskgraph.Graph, arrays []*prog.Array) (*taskgraph.Graph, []*prog.Array) {
-	wf := graphFingerprint(g)
-	key := internKey(wf, arrays)
+	key := internKey(g.Content(), arrays)
 	workloadIntern.Lock()
 	if e, ok := workloadIntern.m[key]; ok {
 		if e.g != g {

@@ -76,7 +76,7 @@ func runnerPoolHits() int64 {
 // parked runner is reused only when it was built on exactly the objects
 // asked for (see pooledRunner); mismatched entries are dropped.
 func takeRunner(g *taskgraph.Graph, am layout.AddressMap, cfg mpsoc.Config) (*mpsoc.Runner, error) {
-	key := runnerKey{graphFingerprint(g).fp, layoutFingerprint(am), cfg}
+	key := runnerKey{g.Fingerprint(), layoutFingerprint(am), cfg}
 	runnerPool.Lock()
 	for rs := runnerPool.m[key]; len(rs) > 0; rs = runnerPool.m[key] {
 		p := rs[len(rs)-1]
@@ -94,7 +94,7 @@ func takeRunner(g *taskgraph.Graph, am layout.AddressMap, cfg mpsoc.Config) (*mp
 
 // putRunner parks a runner for reuse.
 func putRunner(g *taskgraph.Graph, am layout.AddressMap, cfg mpsoc.Config, r *mpsoc.Runner) {
-	key := runnerKey{graphFingerprint(g).fp, layoutFingerprint(am), cfg}
+	key := runnerKey{g.Fingerprint(), layoutFingerprint(am), cfg}
 	runnerPool.Lock()
 	if runnerPool.n >= maxPooledRunners {
 		runnerPool.m = make(map[runnerKey][]pooledRunner)

@@ -28,7 +28,7 @@ func rleDiffMaps(t *testing.T, app *workload.App, geom cache.Geometry) map[strin
 	if err != nil {
 		t.Fatalf("%s: ComputeMatrix: %v", app.Name, err)
 	}
-	_, mapping, err := sched.NewLSM(app.Graph, m, 8, base, geom, nil)
+	_, mapping, err := sched.NewLSM(app.Graph, m, nil, 8, base, geom, nil)
 	if err != nil {
 		t.Fatalf("%s: NewLSM: %v", app.Name, err)
 	}

@@ -304,12 +304,22 @@ type MappingResult struct {
 // carry zero weight. The greedy selection then re-lays the heavy pairs
 // out into opposite cache-set banks, and the transformed address map is
 // returned for simulation.
-func NewLSM(g *taskgraph.Graph, m *sharing.Matrix, cores int,
+//
+// asg may carry a precomputed LS assignment for (g, cores) — callers with
+// a scheduling-analysis cache (experiment.cachedLS) pass theirs so LS+LSM
+// pipelines run LocalitySchedule once per (graph, cores) instead of once
+// per policy. When asg is nil it is computed here from m; when asg is
+// supplied, m is not consulted (the mapping phase depends only on the
+// assignment and the data spaces) and may be nil.
+func NewLSM(g *taskgraph.Graph, m *sharing.Matrix, asg *Assignment, cores int,
 	base layout.AddressMap, geom cache.Geometry, an *sharing.Analyzer) (*Static, *MappingResult, error) {
 
-	asg, err := LocalitySchedule(g, m, cores)
-	if err != nil {
-		return nil, nil, err
+	if asg == nil {
+		var err error
+		asg, err = LocalitySchedule(g, m, cores)
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	if an == nil {
 		an = sharing.NewAnalyzer()

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"locsched/internal/layout"
+	"locsched/internal/mpsoc"
+	"locsched/internal/prog"
+)
+
+// TestNewLSMWithPrecomputedAssignment: NewLSM fed the caller's LS
+// assignment must produce the identical mapping (assignment, banks,
+// layout behaviour) as the nil-assignment path that computes it
+// internally — and must not consult the matrix at all.
+func TestNewLSMWithPrecomputedAssignment(t *testing.T) {
+	g, m := figure1Graph(t)
+	var arrs []*prog.Array
+	seen := map[*prog.Array]bool{}
+	for _, p := range g.Processes() {
+		for _, a := range p.Spec.Arrays() {
+			if !seen[a] {
+				seen[a] = true
+				arrs = append(arrs, a)
+			}
+		}
+	}
+	base := layout.MustPack(32, arrs...)
+	geom := mpsoc.DefaultConfig().Cache
+	const cores = 4
+
+	_, want, err := NewLSM(g, m, nil, cores, base, geom, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	asg, err := LocalitySchedule(g, m, cores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nil matrix: with a supplied assignment the mapping phase must not
+	// need it.
+	_, got, err := NewLSM(g, nil, asg, cores, base, geom, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(got.Assignment.PerCore, want.Assignment.PerCore) {
+		t.Errorf("assignments differ:\n got %v\nwant %v", got.Assignment.PerCore, want.Assignment.PerCore)
+	}
+	if !reflect.DeepEqual(got.Banks, want.Banks) {
+		t.Errorf("bank selections differ:\n got %v\nwant %v", got.Banks, want.Banks)
+	}
+	if got.Threshold != want.Threshold || got.PressureBefore != want.PressureBefore ||
+		got.PressureAfter != want.PressureAfter || got.Verified != want.Verified {
+		t.Errorf("mapping metadata differs:\n got %+v\nwant %+v", got, want)
+	}
+	for _, a := range arrs {
+		for _, idx := range []int64{0, 1} {
+			if got.Layout.Addr(a, idx) != want.Layout.Addr(a, idx) {
+				t.Errorf("layout of %s[%d] differs: %d vs %d",
+					a.Name, idx, got.Layout.Addr(a, idx), want.Layout.Addr(a, idx))
+			}
+		}
+	}
+}

@@ -402,7 +402,7 @@ func TestLSMEliminatesConflicts(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	lsmDisp, mapping, err := NewLSM(g, m, 1, base, geom, nil)
+	lsmDisp, mapping, err := NewLSM(g, m, nil, 1, base, geom, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +450,7 @@ func TestPoliciesCompleteEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lsmDisp, mapping, err := NewLSM(g, m, cfg.Cores, base, cfg.Cache, nil)
+	lsmDisp, mapping, err := NewLSM(g, m, nil, cfg.Cores, base, cfg.Cache, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the bounded content-addressed response store: request
+// key → the exact bytes the cold execution produced. Entries are evicted
+// least-recently-used, under both an entry-count and a byte budget, so a
+// stream of distinct keys cannot grow the daemon without bound. Bodies
+// are stored and returned by reference and must be treated as immutable
+// (handlers only ever write them to the wire).
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	ll         *list.List // front = most recently used
+	entries    map[string]*list.Element
+}
+
+// cacheEntry is one cached response.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache builds an empty cache with the given bounds.
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		entries:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting least-recently-used entries until
+// both budgets hold. A body larger than the whole byte budget is not
+// cached at all (it would only evict everything and then miss anyway).
+func (c *resultCache) put(key string, body []byte) {
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Identical key, possibly refreshed body (same content by
+		// construction — keys are content-addressed).
+		c.bytes += int64(len(body)) - int64(len(el.Value.(*cacheEntry).body))
+		el.Value.(*cacheEntry).body = body
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.entries, e.key)
+		c.bytes -= int64(len(e.body))
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// size returns the current stored byte total.
+func (c *resultCache) size() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Main is the daemon's CLI entry point, shared by cmd/locschedd and the
+// `locsched serve` subcommand. It parses flags, starts the server, and
+// drains gracefully on SIGTERM/SIGINT. Exit codes: 0 clean shutdown,
+// 1 runtime failure, 2 usage error.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("locschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	def := DefaultConfig()
+	addr := fs.String("addr", def.Addr, "listen address")
+	queue := fs.Int("queue", def.QueueDepth, "job queue depth (full queue answers 429)")
+	workers := fs.Int("workers", def.Workers, "executor goroutines draining the queue")
+	expWorkers := fs.Int("expworkers", def.ExpWorkers, "intra-request experiment workers per job")
+	cacheEntries := fs.Int("cache-entries", def.CacheEntries, "result cache entry bound")
+	cacheMB := fs.Int64("cache-mb", def.CacheBytes>>20, "result cache byte bound in MiB")
+	timeout := fs.Duration("timeout", def.RequestTimeout, "per-request deadline (queue wait + execution)")
+	drain := fs.Duration("drain", def.DrainTimeout, "graceful shutdown budget after SIGTERM")
+	scale := fs.Int("scale", 0, "default workload scale for requests that set none (0 = built-in default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "locschedd: unexpected arguments %v\n", fs.Args())
+		return 2
+	}
+
+	cfg := def
+	cfg.Addr = *addr
+	cfg.QueueDepth = *queue
+	cfg.Workers = *workers
+	cfg.ExpWorkers = *expWorkers
+	cfg.CacheEntries = *cacheEntries
+	cfg.CacheBytes = *cacheMB << 20
+	cfg.RequestTimeout = *timeout
+	cfg.DrainTimeout = *drain
+	cfg.Scale = *scale
+
+	srv, err := New(cfg, nil)
+	if err != nil {
+		fmt.Fprintln(stderr, "locschedd:", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "locschedd: serving on %s (queue %d, workers %d, cache %d entries / %d MiB)\n",
+		cfg.Addr, cfg.QueueDepth, cfg.Workers, cfg.CacheEntries, cfg.CacheBytes>>20)
+
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. address in use).
+		fmt.Fprintln(stderr, "locschedd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(stdout, "locschedd: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintln(stderr, "locschedd: drain:", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "locschedd:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "locschedd: stopped")
+	return 0
+}

@@ -1,0 +1,62 @@
+package server
+
+import "sync"
+
+// coalescer deduplicates identical in-flight requests singleflight-style:
+// the first arrival for a key becomes the leader and owns the execution;
+// every later arrival while that execution is pending becomes a follower
+// and waits on the same call, receiving the exact bytes the leader's
+// execution produced. The entry is removed when the call completes, so
+// the next arrival after completion consults the result cache instead.
+type coalescer struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// call is one pending execution. done is closed exactly once, after body
+// and err are set; waiters must only read them after <-done.
+type call struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// newCoalescer builds an empty coalescer.
+func newCoalescer() *coalescer {
+	return &coalescer{m: make(map[string]*call)}
+}
+
+// join registers interest in key. The first caller per pending key gets
+// leader == true and must eventually resolve the call via complete (even
+// on failure paths, or followers would wait for the full deadline).
+func (co *coalescer) join(key string) (c *call, leader bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if c, ok := co.m[key]; ok {
+		return c, false
+	}
+	c = &call{done: make(chan struct{})}
+	co.m[key] = c
+	return c, true
+}
+
+// complete resolves a pending call with the execution outcome and
+// removes the key, waking every follower. The map entry is deleted only
+// if it still maps to this exact call (a later generation for the same
+// key must not be torn down by a stale completion).
+func (co *coalescer) complete(key string, c *call, body []byte, err error) {
+	co.mu.Lock()
+	if cur, ok := co.m[key]; ok && cur == c {
+		delete(co.m, key)
+	}
+	co.mu.Unlock()
+	c.body, c.err = body, err
+	close(c.done)
+}
+
+// pending returns the number of in-flight keys.
+func (co *coalescer) pending() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.m)
+}

@@ -1,0 +1,105 @@
+// Package server is locsched's serving subsystem: a long-lived daemon
+// wrapping the experiment harness behind an HTTP/JSON API so scheduling
+// analyses, single simulation cells, and whole figures are computed once
+// and served many times.
+//
+// Every cacheable request is reduced to a content-addressed key — the
+// workload's graph/layout fingerprints (taskgraph.Content plus the
+// packed-base-layout fingerprint) joined with a canonical config digest
+// — and flows through three layers:
+//
+//  1. a bounded content-addressed result cache holding the exact
+//     response bytes of completed requests (repeats are served verbatim,
+//     so a cached response is byte-identical to the cold one);
+//  2. a singleflight coalescer: identical in-flight requests attach to
+//     the one execution already running and receive the same bytes;
+//  3. a bounded job queue over a fixed worker pool with admission
+//     control — when the queue is full new work is rejected with 429 and
+//     a Retry-After hint instead of being buffered without bound.
+//
+// The daemon binary is cmd/locschedd; `locsched serve` starts the same
+// server, and `locsched bench` is the load generator that replays a
+// mixed scenario stream against it.
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Config tunes the serving daemon. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Addr is the listen address for ListenAndServe.
+	Addr string
+	// QueueDepth bounds the job queue; a full queue rejects new unique
+	// requests with 429 (admission control, never unbounded buffering).
+	QueueDepth int
+	// Workers is the number of executor goroutines draining the queue.
+	Workers int
+	// ExpWorkers is the experiment.Config.Workers value given to each
+	// executed job: intra-request parallelism. The default 1 keeps each
+	// cell sequential and lets the daemon parallelize across requests.
+	ExpWorkers int
+	// CacheEntries bounds the result cache by entry count.
+	CacheEntries int
+	// CacheBytes bounds the result cache by total stored body bytes.
+	CacheBytes int64
+	// RequestTimeout is the per-request deadline covering queue wait and
+	// execution; a request may lower it via its deadline_ms field but
+	// never raise it. Expired waiters get 504 while the execution itself
+	// runs on and still populates the result cache.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: in-flight requests get this
+	// long to complete after SIGTERM before the listener is torn down.
+	DrainTimeout time.Duration
+	// MaxBodyBytes caps request bodies (inline JSON task sets included).
+	MaxBodyBytes int64
+	// Scale is the default workload scale for requests that do not set
+	// one (experiment.DefaultConfig's scale when 0).
+	Scale int
+}
+
+// DefaultConfig returns the daemon defaults: a loopback listener, a
+// 64-deep queue over one worker per CPU, a 512-entry / 64 MiB result
+// cache, and 120 s request deadlines.
+func DefaultConfig() Config {
+	return Config{
+		Addr:           "127.0.0.1:8077",
+		QueueDepth:     64,
+		Workers:        runtime.GOMAXPROCS(0),
+		ExpWorkers:     1,
+		CacheEntries:   512,
+		CacheBytes:     64 << 20,
+		RequestTimeout: 120 * time.Second,
+		DrainTimeout:   30 * time.Second,
+		MaxBodyBytes:   1 << 20,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.QueueDepth <= 0 {
+		return fmt.Errorf("server: queue depth %d must be positive", c.QueueDepth)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("server: workers %d must be positive", c.Workers)
+	}
+	if c.ExpWorkers < 0 {
+		return fmt.Errorf("server: experiment workers %d must be non-negative", c.ExpWorkers)
+	}
+	if c.CacheEntries <= 0 || c.CacheBytes <= 0 {
+		return fmt.Errorf("server: cache bounds (%d entries, %d bytes) must be positive", c.CacheEntries, c.CacheBytes)
+	}
+	if c.RequestTimeout <= 0 || c.DrainTimeout <= 0 {
+		return fmt.Errorf("server: timeouts (%v request, %v drain) must be positive", c.RequestTimeout, c.DrainTimeout)
+	}
+	if c.MaxBodyBytes <= 0 {
+		return fmt.Errorf("server: max body bytes %d must be positive", c.MaxBodyBytes)
+	}
+	if c.Scale < 0 {
+		return fmt.Errorf("server: scale %d must be non-negative", c.Scale)
+	}
+	return nil
+}

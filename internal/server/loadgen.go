@@ -1,0 +1,271 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locsched/internal/workload"
+)
+
+// The load generator: `locsched bench` replays a deterministic mixed
+// scenario stream — fig6 single-application cells, fig7-style concurrent
+// mixes, an analysis call, and a whole-figure request — against a
+// running locschedd, measuring sustained requests/sec and how the
+// cache-hit and coalesce rates climb as the stream wraps around the
+// distinct-key set. A coalesce burst phase fires identical concurrent
+// requests at a cold key first, which is what demonstrates singleflight
+// behaviour deterministically enough for CI assertion.
+
+// LoadConfig tunes one load-generation run.
+type LoadConfig struct {
+	// BaseURL is the target daemon, e.g. http://127.0.0.1:8077.
+	BaseURL string
+	// Concurrency is the number of client goroutines.
+	Concurrency int
+	// Requests is the total number of stream requests to send.
+	Requests int
+	// Scale is the workload scale the stream asks for (0 = daemon default).
+	Scale int
+	// Timeout bounds each HTTP request.
+	Timeout time.Duration
+}
+
+// LoadReport is the outcome of one load-generation run.
+type LoadReport struct {
+	// Requests is the number of requests sent (burst phase included).
+	Requests int
+	// Errors counts non-2xx responses and transport failures.
+	Errors int
+	// Cold, Cached, and Coalesced count responses by served-from class
+	// (the X-Locsched-Result header).
+	Cold, Cached, Coalesced int
+	// Elapsed is the wall-clock of the whole run.
+	Elapsed time.Duration
+	// RPS is Requests / Elapsed.
+	RPS float64
+	// HitRate is (Cached + Coalesced) / successful responses: the share
+	// of requests that did not pay for an execution.
+	HitRate float64
+	// Stats holds this run's /statsz counter deltas (after minus
+	// before), so the report — and the -expect-cache CI assertion built
+	// on it — describes the replayed stream itself, not the daemon's
+	// lifetime. Gauges (queue depth, cache entries, uptime) are the
+	// after-run values.
+	Stats StatsSnapshot
+}
+
+// streamBody builds one request of the mixed scenario stream.
+type streamReq struct {
+	endpoint string
+	body     []byte
+}
+
+// buildStream assembles the deterministic request stream: every Table 1
+// application under the paper's four policies (fig6 cells), concurrent
+// mixes |T| ∈ {2, 4, 6} under the four policies (fig7 cells), one
+// analysis request, and one whole-figure request.
+func buildStream(scale int) []streamReq {
+	policies := []string{"RS", "RRS", "LS", "LSM"}
+	var out []streamReq
+	add := func(endpoint string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err) // static request shapes; cannot fail
+		}
+		out = append(out, streamReq{endpoint: endpoint, body: b})
+	}
+	for _, app := range workload.Names() {
+		for _, pol := range policies {
+			add("/v1/run", RunRequest{Workload: WorkloadSpec{App: app, Scale: scale}, Policy: pol})
+		}
+	}
+	for _, mix := range []int{2, 4, 6} {
+		for _, pol := range policies {
+			add("/v1/run", RunRequest{Workload: WorkloadSpec{Mix: mix, Scale: scale}, Policy: pol})
+		}
+	}
+	add("/v1/analysis", AnalysisRequest{Workload: WorkloadSpec{Mix: 6, Scale: scale}})
+	add("/v1/figure", FigureRequest{Figure: "fig6", Scale: scale})
+	return out
+}
+
+// RunLoad replays the mixed scenario stream against a daemon and
+// reports throughput and cache behaviour.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("server: load generator needs a base URL")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 200
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 120 * time.Second
+	}
+	base := strings.TrimSuffix(cfg.BaseURL, "/")
+	client := &http.Client{Timeout: cfg.Timeout}
+	stream := buildStream(cfg.Scale)
+	before, err := fetchStats(client, base)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading /statsz before load: %w", err)
+	}
+
+	rep := &LoadReport{}
+	var errs, cold, cached, coalesced atomic.Int64
+	post := func(endpoint string, body []byte) {
+		resp, err := client.Post(base+endpoint, "application/json", bytes.NewReader(body))
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			errs.Add(1)
+			return
+		}
+		switch resp.Header.Get(resultHeader) {
+		case "cold":
+			cold.Add(1)
+		case "cached":
+			cached.Add(1)
+		case "coalesced":
+			coalesced.Add(1)
+		}
+	}
+
+	start := time.Now()
+
+	// Coalesce burst: all clients fire the identical cold request at
+	// once; one execution runs, the rest coalesce (or arrive late and
+	// hit the cache). Each round's key must be cold on the *daemon*, not
+	// just within this process — a fixed quantum would already sit in
+	// the result cache on a second bench run against the same daemon —
+	// so the quantum carries a per-run wall-clock nonce plus the round.
+	sent := 0
+	burstBase := 10_000 + time.Now().UnixNano()%1_000_000_000
+	for round := 0; round < 5 && coalesced.Load() == 0; round++ {
+		burst, err := json.Marshal(RunRequest{
+			Workload: WorkloadSpec{Mix: 4, Scale: cfg.Scale},
+			Policy:   "LSM",
+			Config:   ConfigSpec{Quantum: burstBase + int64(round)},
+		})
+		if err != nil {
+			return nil, err
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < cfg.Concurrency; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				post("/v1/run", burst)
+			}()
+		}
+		wg.Wait()
+		sent += cfg.Concurrency
+	}
+
+	// Mixed stream: clients claim indices off a shared cursor, so the
+	// stream order is deterministic while the interleaving exercises the
+	// coalescer and cache under real concurrency.
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1))
+				if idx >= cfg.Requests {
+					return
+				}
+				r := stream[idx%len(stream)]
+				post(r.endpoint, r.body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep.Elapsed = time.Since(start)
+	rep.Requests = sent + cfg.Requests
+	rep.Errors = int(errs.Load())
+	rep.Cold = int(cold.Load())
+	rep.Cached = int(cached.Load())
+	rep.Coalesced = int(coalesced.Load())
+	if ok := rep.Cold + rep.Cached + rep.Coalesced; ok > 0 {
+		rep.HitRate = float64(rep.Cached+rep.Coalesced) / float64(ok)
+	}
+	if rep.Elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / rep.Elapsed.Seconds()
+	}
+
+	after, err := fetchStats(client, base)
+	if err != nil {
+		return nil, fmt.Errorf("server: reading /statsz after load: %w", err)
+	}
+	rep.Stats = statsDelta(after, before)
+	return rep, nil
+}
+
+// fetchStats reads one /statsz snapshot.
+func fetchStats(client *http.Client, base string) (StatsSnapshot, error) {
+	var st StatsSnapshot
+	resp, err := client.Get(base + "/statsz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("decoding /statsz: %w", err)
+	}
+	return st, nil
+}
+
+// statsDelta subtracts the before-run counters from the after-run
+// snapshot, keeping after's gauges.
+func statsDelta(after, before StatsSnapshot) StatsSnapshot {
+	d := after
+	d.Requests -= before.Requests
+	d.CacheHits -= before.CacheHits
+	d.Coalesced -= before.Coalesced
+	d.Executions -= before.Executions
+	d.Rejected -= before.Rejected
+	d.Timeouts -= before.Timeouts
+	d.Failures -= before.Failures
+	d.BadRequests -= before.BadRequests
+	d.Experiment.MatrixHits -= before.Experiment.MatrixHits
+	d.Experiment.MatrixMisses -= before.Experiment.MatrixMisses
+	d.Experiment.LSHits -= before.Experiment.LSHits
+	d.Experiment.LSMisses -= before.Experiment.LSMisses
+	d.Experiment.LSMHits -= before.Experiment.LSMHits
+	d.Experiment.LSMMisses -= before.Experiment.LSMMisses
+	d.Experiment.AnalysisEvictions -= before.Experiment.AnalysisEvictions
+	d.Experiment.RunnerPoolHits -= before.Experiment.RunnerPoolHits
+	d.Experiment.InternHits -= before.Experiment.InternHits
+	return d
+}
+
+// Format renders a load report for humans.
+func (r *LoadReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load: %d requests in %.2fs = %.1f req/s (%d errors)\n",
+		r.Requests, r.Elapsed.Seconds(), r.RPS, r.Errors)
+	fmt.Fprintf(&b, "served: %d cold, %d cached, %d coalesced (hit rate %.1f%%)\n",
+		r.Cold, r.Cached, r.Coalesced, 100*r.HitRate)
+	fmt.Fprintf(&b, "server (this run): %d executions, %d cache hits, %d coalesced, %d rejected, %d timeouts\n",
+		r.Stats.Executions, r.Stats.CacheHits, r.Stats.Coalesced, r.Stats.Rejected, r.Stats.Timeouts)
+	fmt.Fprintf(&b, "experiment caches: analysis %d/%d/%d hits (matrix/ls/lsm), runner pool %d, intern %d\n",
+		r.Stats.Experiment.MatrixHits, r.Stats.Experiment.LSHits, r.Stats.Experiment.LSMHits,
+		r.Stats.Experiment.RunnerPoolHits, r.Stats.Experiment.InternHits)
+	return b.String()
+}

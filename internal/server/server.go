@@ -1,0 +1,300 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// errSaturated is the admission-control rejection: the job queue is full
+// and the request was not buffered. Clients should honor Retry-After.
+var errSaturated = errors.New("server: job queue saturated")
+
+// resultHeader is the response header classifying how a keyed request
+// was served: "cold" (this request's execution), "cached" (result
+// cache), or "coalesced" (attached to an identical in-flight
+// execution). It is a header precisely so the three bodies stay
+// byte-identical.
+const resultHeader = "X-Locsched-Result"
+
+// task pairs an admitted job with the pending call its waiters block on.
+type task struct {
+	job  *Job
+	call *call
+}
+
+// Server is the serving daemon: HTTP handlers feeding a bounded job
+// queue over a worker pool, fronted by a singleflight coalescer and a
+// content-addressed result cache. Build with New, serve with
+// ListenAndServe or mount Handler, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	planner Planner
+	cache   *resultCache
+	flight  *coalescer
+	jobs    chan *task
+	stats   counters
+	started time.Time
+	mux     *http.ServeMux
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	draining chan struct{}
+	workers  sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// New builds a Server with started workers. planner == nil uses the
+// production experiment-backed planner.
+func New(cfg Config, planner Planner) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if planner == nil {
+		planner = newExperimentPlanner(cfg)
+	}
+	s := &Server{
+		cfg:      cfg,
+		planner:  planner,
+		cache:    newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		flight:   newCoalescer(),
+		jobs:     make(chan *task, cfg.QueueDepth),
+		started:  time.Now(),
+		draining: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/run", s.keyedHandler("run"))
+	s.mux.HandleFunc("/v1/figure", s.keyedHandler("figure"))
+	s.mux.HandleFunc("/v1/analysis", s.keyedHandler("analysis"))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// worker drains the job queue: each task executes at most once, fills
+// the result cache on success, and resolves its call so every waiter —
+// leader and coalesced followers alike — receives the same bytes.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for t := range s.jobs {
+		body, err := runJob(t.job)
+		s.stats.executions.Add(1)
+		if err != nil {
+			s.stats.failures.Add(1)
+		} else {
+			s.cache.put(t.job.Key, body)
+		}
+		s.flight.complete(t.job.Key, t.call, body, err)
+	}
+}
+
+// runJob executes a job, converting a panic into an execution error: a
+// single malformed workload must cost its own request a 500, never the
+// whole long-lived daemon (and its cache, and every other in-flight
+// request).
+func runJob(j *Job) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			body, err = nil, fmt.Errorf("server: execution panicked: %v", r)
+		}
+	}()
+	return j.Run()
+}
+
+// keyedHandler builds the handler for one cacheable POST endpoint: plan
+// → result cache → coalescer → bounded queue → wait with deadline.
+func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.requests.Add(1)
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: %s requires POST", r.URL.Path))
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+		if err != nil {
+			s.stats.badInput.Add(1)
+			status := http.StatusBadRequest
+			var tooLarge *http.MaxBytesError
+			if errors.As(err, &tooLarge) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			s.writeError(w, status, fmt.Errorf("server: reading body: %w", err))
+			return
+		}
+		job, err := s.planner.Plan(endpoint, body)
+		if err != nil {
+			s.stats.badInput.Add(1)
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+
+		if cached, ok := s.cache.get(job.Key); ok {
+			s.stats.cacheHits.Add(1)
+			s.writeBody(w, "cached", cached)
+			return
+		}
+
+		c, leader := s.flight.join(job.Key)
+		served := "coalesced"
+		if leader {
+			// Re-check the cache after winning leadership: an identical
+			// request may have completed (cache.put, then coalescer
+			// entry removed) between our miss above and the join, and
+			// executing again would break the exactly-once guarantee.
+			// Completing the call with the cached bytes also serves any
+			// followers that attached to this generation.
+			if cached, ok := s.cache.get(job.Key); ok {
+				s.flight.complete(job.Key, c, cached, nil)
+				s.stats.cacheHits.Add(1)
+				s.writeBody(w, "cached", cached)
+				return
+			}
+			served = "cold"
+			select {
+			case s.jobs <- &task{job: job, call: c}:
+			default:
+				// Admission control: the queue is full. The call must
+				// still complete, or followers that joined between our
+				// join and now would hang until their deadlines.
+				s.flight.complete(job.Key, c, nil, errSaturated)
+			}
+		} else {
+			s.stats.coalesced.Add(1)
+		}
+
+		timeout := s.cfg.RequestTimeout
+		if job.Deadline > 0 && job.Deadline < timeout {
+			timeout = job.Deadline
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		select {
+		case <-c.done:
+			switch {
+			case errors.Is(c.err, errSaturated):
+				s.stats.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				s.writeError(w, http.StatusTooManyRequests, c.err)
+			case c.err != nil:
+				s.writeError(w, http.StatusInternalServerError, c.err)
+			default:
+				s.writeBody(w, served, c.body)
+			}
+		case <-ctx.Done():
+			// The execution (if any) continues and will populate the
+			// result cache; only this waiter gives up.
+			s.stats.timeouts.Add(1)
+			s.writeError(w, http.StatusGatewayTimeout,
+				fmt.Errorf("server: request deadline exceeded after %v (result may be cached on retry)", timeout))
+		}
+	}
+}
+
+// writeBody sends canonical response bytes with the served-from class.
+func (s *Server) writeBody(w http.ResponseWriter, served string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(resultHeader, served)
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	// Error is the failure description.
+	Error string `json:"error"`
+}
+
+// writeError sends a JSON error with the given status.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight requests finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	select {
+	case <-s.draining:
+		status, code = "draining", http.StatusServiceUnavailable
+	default:
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q}\n", status)
+}
+
+// handleStatsz serves the operational counters.
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.snapshot())
+}
+
+// ListenAndServe serves on cfg.Addr until Shutdown; it returns
+// http.ErrServerClosed after a graceful drain.
+func (s *Server) ListenAndServe() error {
+	srv := &http.Server{Addr: s.cfg.Addr, Handler: s.mux}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.ListenAndServe()
+}
+
+// Shutdown drains the server gracefully: mark draining (healthz flips to
+// 503), stop accepting connections, wait for in-flight handlers within
+// ctx, then stop the workers after the queue empties. Safe to call once;
+// later calls return immediately.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.stopOnce.Do(func() {
+		close(s.draining)
+		s.httpMu.Lock()
+		srv := s.httpSrv
+		s.httpMu.Unlock()
+		if srv != nil {
+			if err = srv.Shutdown(ctx); err != nil {
+				// The drain budget expired with handlers still running;
+				// those handlers may yet enqueue, so the queue cannot be
+				// closed safely. The process is exiting anyway — leak
+				// the workers instead of racing a send-on-closed panic.
+				return
+			}
+		}
+		// No handlers remain (callers of Handler() must stop their own
+		// listener first); nothing can enqueue anymore, so closing the
+		// queue lets the workers finish the jobs already admitted and
+		// exit.
+		close(s.jobs)
+		done := make(chan struct{})
+		go func() {
+			s.workers.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+		}
+	})
+	return err
+}

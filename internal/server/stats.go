@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"locsched/internal/experiment"
+)
+
+// counters holds the daemon's atomic operational counters. Gauges
+// (queue depth, in-flight) are sampled from their owners at snapshot
+// time instead of being tracked here.
+type counters struct {
+	requests   atomic.Int64 // every request on a keyed endpoint
+	cacheHits  atomic.Int64 // served verbatim from the result cache
+	coalesced  atomic.Int64 // attached to an identical in-flight execution
+	executions atomic.Int64 // jobs actually run by the worker pool
+	rejected   atomic.Int64 // 429s from admission control
+	timeouts   atomic.Int64 // 504s from per-request deadlines
+	failures   atomic.Int64 // executions that returned an error
+	badInput   atomic.Int64 // 400s from unparsable/unresolvable requests
+}
+
+// StatsSnapshot is the /statsz response: the daemon's request counters,
+// queue and cache gauges, and the experiment layer's cache statistics
+// (which the served workloads share with CLI runs in the same process).
+type StatsSnapshot struct {
+	// UptimeSeconds is time since the server was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Requests counts keyed-endpoint requests (run/figure/analysis).
+	Requests int64 `json:"requests"`
+	// CacheHits counts responses served verbatim from the result cache.
+	CacheHits int64 `json:"cache_hits"`
+	// Coalesced counts requests attached to an in-flight execution.
+	Coalesced int64 `json:"coalesced"`
+	// Executions counts jobs the worker pool actually ran.
+	Executions int64 `json:"executions"`
+	// Rejected counts 429 admission-control rejections.
+	Rejected int64 `json:"rejected"`
+	// Timeouts counts 504 deadline expiries.
+	Timeouts int64 `json:"timeouts"`
+	// Failures counts executions that returned an error.
+	Failures int64 `json:"failures"`
+	// BadRequests counts 400 responses.
+	BadRequests int64 `json:"bad_requests"`
+	// QueueDepth is the number of jobs waiting in the queue now.
+	QueueDepth int `json:"queue_depth"`
+	// QueueCap is the configured queue bound.
+	QueueCap int `json:"queue_cap"`
+	// InflightKeys is the number of distinct keys currently executing or
+	// queued (the coalescer's pending set).
+	InflightKeys int `json:"inflight_keys"`
+	// ResultEntries is the result cache's current entry count.
+	ResultEntries int `json:"result_entries"`
+	// ResultBytes is the result cache's current stored byte total.
+	ResultBytes int64 `json:"result_bytes"`
+	// Experiment snapshots the experiment layer's content-addressed
+	// caches (analysis tiers, runner pool, intern table).
+	Experiment experiment.CacheStats `json:"experiment"`
+}
+
+// snapshot assembles the current statistics.
+func (s *Server) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.stats.requests.Load(),
+		CacheHits:     s.stats.cacheHits.Load(),
+		Coalesced:     s.stats.coalesced.Load(),
+		Executions:    s.stats.executions.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		Timeouts:      s.stats.timeouts.Load(),
+		Failures:      s.stats.failures.Load(),
+		BadRequests:   s.stats.badInput.Load(),
+		QueueDepth:    len(s.jobs),
+		QueueCap:      cap(s.jobs),
+		InflightKeys:  s.flight.pending(),
+		ResultEntries: s.cache.len(),
+		ResultBytes:   s.cache.size(),
+		Experiment:    experiment.Stats(),
+	}
+}

@@ -1,0 +1,85 @@
+package taskgraph
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"locsched/internal/prog"
+)
+
+// Content is a graph's content identity: a hash of everything the
+// scheduling analysis depends on, plus the aliasing structure of the
+// arrays it references. Two graphs with equal Content behave identically
+// under the sharing analysis, the schedulers, and the simulator (given
+// equal layouts), so Content.FP is the key every content-addressed cache
+// in the experiment and serving layers uses.
+type Content struct {
+	// FP is the hex-encoded SHA-256 of the graph's processes (ID, name,
+	// compute cost, iteration space, references with access maps), the
+	// content of every referenced array, the aliasing structure (which
+	// references resolve to the same array object), and the dependence
+	// edges.
+	FP string
+	// ArrayIndex assigns every distinct array object referenced by the
+	// graph the dense index it was first seen at during hashing. Callers
+	// that key on (graph, array list) pairs reuse it to express array
+	// aliasing consistently with FP.
+	ArrayIndex map[*prog.Array]int
+}
+
+// HashArray writes one array's content — name, dimension extents, and
+// element size — tagged with its dense aliasing index. It is the shared
+// array-hashing primitive of both the graph fingerprint and the layout
+// fingerprints built on top of it.
+func HashArray(w io.Writer, idx int, arr *prog.Array) {
+	fmt.Fprintf(w, "A%d=%s/%v/%d;", idx, arr.Name, arr.Dims, arr.Elem)
+}
+
+// Content returns the graph's content identity, computing it on first
+// use and memoizing it on the graph itself. The graph is frozen first,
+// so the hashed structure cannot change afterwards — Freeze semantics
+// are the invalidation rule: a frozen graph's content is final, and an
+// unfrozen graph has no cached content to go stale. The memo is a
+// per-graph atomic, so concurrent first calls race benignly (both
+// compute the same value; one wins) and steady-state lookups are a
+// single pointer load with no lock and no re-hash of presburger strings.
+func (g *Graph) Content() *Content {
+	if c := g.content.Load(); c != nil {
+		return c
+	}
+	g.Freeze()
+	c := g.computeContent()
+	if g.content.CompareAndSwap(nil, c) {
+		return c
+	}
+	return g.content.Load()
+}
+
+// Fingerprint returns Content().FP: the graph's content hash alone.
+func (g *Graph) Fingerprint() string { return g.Content().FP }
+
+// computeContent hashes the frozen graph's full analyzable structure.
+func (g *Graph) computeContent() *Content {
+	h := sha256.New()
+	arrIdx := make(map[*prog.Array]int)
+	for _, id := range g.ProcIDs() {
+		spec := g.Process(id).Spec
+		fmt.Fprintf(h, "P%d.%d|%s|c%d|%s|", id.Task, id.Idx, spec.Name, spec.ComputePerIter, spec.IterSpace)
+		for _, r := range spec.Refs {
+			ai, ok := arrIdx[r.Array]
+			if !ok {
+				ai = len(arrIdx)
+				arrIdx[r.Array] = ai
+				HashArray(h, ai, r.Array)
+			}
+			fmt.Fprintf(h, "r%d@%d:%s|", r.Kind, ai, r.Map)
+		}
+		for _, s := range g.Succs(id) {
+			fmt.Fprintf(h, ">%d.%d", s.Task, s.Idx)
+		}
+		io.WriteString(h, ";")
+	}
+	return &Content{FP: hex.EncodeToString(h.Sum(nil)), ArrayIndex: arrIdx}
+}

@@ -1,0 +1,108 @@
+package taskgraph
+
+import (
+	"sync"
+	"testing"
+
+	"locsched/internal/prog"
+)
+
+// contentTestGraph builds a two-process graph sharing one array.
+func contentTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	arr, err := prog.NewArray("A", 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter := prog.Seg("i", 0, 256)
+	s1, err := prog.NewProcessSpec("w", iter, 2, prog.StreamRef(arr, prog.Write, iter, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := prog.NewProcessSpec("r", iter, 1, prog.StreamRef(arr, prog.Read, iter, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New()
+	if err := g.AddProcess(&Process{ID: ProcID{0, 0}, Spec: s1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddProcess(&Process{ID: ProcID{0, 1}, Spec: s2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddDep(ProcID{0, 0}, ProcID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestContentMemoized: Content freezes the graph, is computed once, and
+// every later call returns the identical object without re-hashing.
+func TestContentMemoized(t *testing.T) {
+	g := contentTestGraph(t)
+	if g.Frozen() {
+		t.Fatal("graph frozen before Content")
+	}
+	c1 := g.Content()
+	if !g.Frozen() {
+		t.Error("Content must freeze the graph")
+	}
+	if c1.FP == "" || len(c1.ArrayIndex) != 1 {
+		t.Fatalf("content = %+v, want nonempty FP and 1 aliased array", c1)
+	}
+	if c2 := g.Content(); c2 != c1 {
+		t.Error("second Content call returned a different object (memo miss)")
+	}
+	if g.Fingerprint() != c1.FP {
+		t.Error("Fingerprint disagrees with Content().FP")
+	}
+	// Mutation after Content is rejected by Freeze semantics, so the memo
+	// can never go stale.
+	if err := g.AddDep(ProcID{0, 1}, ProcID{0, 0}); err == nil {
+		t.Error("AddDep after Content must fail (graph frozen)")
+	}
+}
+
+// TestContentEqualGraphsEqualFP: content-equal graphs built as fresh
+// object families share a fingerprint; structural changes move it.
+func TestContentEqualGraphsEqualFP(t *testing.T) {
+	g1 := contentTestGraph(t)
+	g2 := contentTestGraph(t)
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Error("content-equal graphs got different fingerprints")
+	}
+	g3 := contentTestGraph(t) // drop the edge before freezing: different structure
+	g4 := New()
+	for _, p := range g3.Processes() {
+		if err := g4.AddProcess(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g4.Fingerprint() == g1.Fingerprint() {
+		t.Error("edge removal did not change the fingerprint")
+	}
+}
+
+// TestContentConcurrent races first-computation from many goroutines; all
+// must observe one winner (run under -race in CI).
+func TestContentConcurrent(t *testing.T) {
+	g := contentTestGraph(t)
+	var wg sync.WaitGroup
+	out := make([]*Content, 16)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = g.Content()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[0] {
+			t.Fatalf("goroutine %d observed a different Content pointer", i)
+		}
+		if out[i].FP != out[0].FP {
+			t.Fatalf("goroutine %d observed a different fingerprint", i)
+		}
+	}
+}

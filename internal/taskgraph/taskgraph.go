@@ -49,6 +49,10 @@ type Graph struct {
 	// frozen is atomic: concurrent experiment cells freeze the shared
 	// graph on first analysis, racing benignly with each other.
 	frozen atomic.Bool
+	// content memoizes the graph's content identity (see Content): it is
+	// populated at most once, only after the graph is frozen, so every
+	// later lookup is a single pointer load.
+	content atomic.Pointer[Content]
 }
 
 // New returns an empty graph.
