@@ -30,6 +30,11 @@
 //	locsched bench -serve URL [flags]    replay the mixed scenario stream
 //	                                     against a running daemon and report
 //	                                     req/s, cache-hit and coalesce rates
+//	locsched bench -restart-warm -store-dir DIR
+//	                                     replay the stream, restart an
+//	                                     in-process daemon on the same store
+//	                                     directory, and assert it warm-starts
+//	                                     from disk
 //
 // Flags:
 //
@@ -464,23 +469,53 @@ func parseXLPoints(s string) ([]locsched.XLPoint, error) {
 }
 
 // benchMain is the `locsched bench` subcommand: the load generator that
-// replays the mixed scenario stream against a running locschedd.
+// replays the mixed scenario stream against a running locschedd, or —
+// with -restart-warm — against two successive in-process daemon
+// lifetimes over one store directory to prove the warm-start contract.
 func benchMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("locsched bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	serveURL := fs.String("serve", "", "base URL of the target locschedd (required)")
+	serveURL := fs.String("serve", "", "base URL of the target locschedd (required unless -restart-warm)")
 	conc := fs.Int("conc", 8, "concurrent client goroutines")
 	requests := fs.Int("requests", 200, "total stream requests to send")
 	scale := fs.Int("scale", 0, "workload scale the stream requests (0 = daemon default)")
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
 	expectCache := fs.Bool("expect-cache", false, "exit nonzero unless cache hits AND coalesces were observed (CI assertion)")
+	restartWarm := fs.Bool("restart-warm", false, "run the stream against an in-process daemon, restart it on the same store dir, and assert the warm start")
+	storeDir := fs.String("store-dir", "", "store directory for -restart-warm (required with it)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
 	}
-	if *serveURL == "" || fs.NArg() != 0 || *conc <= 0 || *requests <= 0 || *scale < 0 {
+	if *restartWarm {
+		if *storeDir == "" || *serveURL != "" || fs.NArg() != 0 || *conc <= 0 || *requests <= 0 || *scale < 0 {
+			fmt.Fprintln(stderr, "locsched bench: usage: locsched bench -restart-warm -store-dir DIR [-conc N] [-requests N] [-scale N] [-timeout D]")
+			return 2
+		}
+		srvCfg := server.DefaultConfig()
+		srvCfg.StoreDir = *storeDir
+		srvCfg.Scale = *scale
+		rep, err := server.RunRestartWarm(srvCfg, server.LoadConfig{
+			Concurrency: *conc,
+			Requests:    *requests,
+			Scale:       *scale,
+			Timeout:     *timeout,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "locsched bench:", err)
+			return 1
+		}
+		fmt.Fprint(stdout, rep.Format())
+		if err := rep.Verify(); err != nil {
+			fmt.Fprintln(stderr, "locsched bench:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "restart-warm: OK")
+		return 0
+	}
+	if *serveURL == "" || fs.NArg() != 0 || *conc <= 0 || *requests <= 0 || *scale < 0 || *storeDir != "" {
 		fmt.Fprintln(stderr, "locsched bench: usage: locsched bench -serve URL [-conc N] [-requests N] [-scale N] [-timeout D] [-expect-cache]")
 		return 2
 	}

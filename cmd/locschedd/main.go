@@ -9,18 +9,26 @@
 //	POST /v1/figure   a whole reproduced figure (fig6, fig7, fig7xl);
 //	                  byte-identical to `locsched -json <figure>`
 //	POST /v1/analysis scheduling analysis only (sharing matrix + LS)
-//	GET  /healthz     liveness (503 while draining)
-//	GET  /statsz      request, cache, coalesce, and queue counters
+//	GET  /healthz     liveness (503 while draining; 200 with status
+//	                  "degraded" when the persistent store is down)
+//	GET  /statsz      request, cache, disk, coalesce, and queue counters
 //
 // Identical in-flight requests execute once; repeats are served from the
 // result cache byte-for-byte. A full queue answers 429 with Retry-After
 // rather than buffering without bound, and SIGTERM drains gracefully.
 //
+// With -store-dir the daemon keeps a crash-safe disk-backed result store
+// (append-only CRC-verified segments) under the memory cache: a
+// restarted daemon warm-starts from the surviving entries, corrupt
+// records are quarantined and recomputed rather than served, and a
+// failing disk trips a circuit breaker into degraded memory-only
+// serving instead of failing requests.
+//
 // Usage:
 //
 //	locschedd [-addr HOST:PORT] [-queue N] [-workers N] [-expworkers N]
 //	          [-cache-entries N] [-cache-mb N] [-timeout D] [-drain D]
-//	          [-scale N]
+//	          [-scale N] [-store-dir DIR] [-store-mb N]
 //
 // See `locsched bench -serve URL` for the matching load generator.
 package main

@@ -30,6 +30,10 @@ var godocGatedFiles = []string{
 	"internal/server/stats.go",
 	"internal/server/loadgen.go",
 	"internal/server/cli.go",
+	"internal/store/store.go",
+	"internal/store/fs.go",
+	"internal/store/faultfs.go",
+	"internal/store/breaker.go",
 }
 
 func TestGodocGate(t *testing.T) {

@@ -29,6 +29,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", def.RequestTimeout, "per-request deadline (queue wait + execution)")
 	drain := fs.Duration("drain", def.DrainTimeout, "graceful shutdown budget after SIGTERM")
 	scale := fs.Int("scale", 0, "default workload scale for requests that set none (0 = built-in default)")
+	storeDir := fs.String("store-dir", "", "persistent result store directory (empty = memory-only)")
+	storeMB := fs.Int64("store-mb", 0, "persistent store on-disk bound in MiB (0 = store default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -50,11 +52,21 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	cfg.RequestTimeout = *timeout
 	cfg.DrainTimeout = *drain
 	cfg.Scale = *scale
+	cfg.StoreDir = *storeDir
+	cfg.StoreBytes = *storeMB << 20
 
 	srv, err := New(cfg, nil)
 	if err != nil {
 		fmt.Fprintln(stderr, "locschedd:", err)
 		return 2
+	}
+	if cfg.StoreDir != "" {
+		if srv.storeDegraded() {
+			fmt.Fprintf(stderr, "locschedd: store %s unusable, serving memory-only (degraded)\n", cfg.StoreDir)
+		} else {
+			fmt.Fprintf(stdout, "locschedd: persistent store %s (%d entries recovered)\n",
+				cfg.StoreDir, srv.store.Len())
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)

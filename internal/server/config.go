@@ -6,26 +6,36 @@
 // Every cacheable request is reduced to a content-addressed key — the
 // workload's graph/layout fingerprints (taskgraph.Content plus the
 // packed-base-layout fingerprint) joined with a canonical config digest
-// — and flows through three layers:
+// — and flows through four layers:
 //
 //  1. a bounded content-addressed result cache holding the exact
 //     response bytes of completed requests (repeats are served verbatim,
 //     so a cached response is byte-identical to the cold one);
-//  2. a singleflight coalescer: identical in-flight requests attach to
+//  2. an optional disk-backed persistent result store (internal/store)
+//     under the memory cache: append-only CRC-verified segments keyed by
+//     the same content keys, so a restarted daemon warm-starts from disk
+//     instead of recomputing. Corrupt or unreadable entries are
+//     quarantined and recomputed — never served — and persistent store
+//     failure trips a circuit breaker into a degraded memory-only mode
+//     (visible in /healthz and /statsz) rather than failing requests;
+//  3. a singleflight coalescer: identical in-flight requests attach to
 //     the one execution already running and receive the same bytes;
-//  3. a bounded job queue over a fixed worker pool with admission
+//  4. a bounded job queue over a fixed worker pool with admission
 //     control — when the queue is full new work is rejected with 429 and
 //     a Retry-After hint instead of being buffered without bound.
 //
 // The daemon binary is cmd/locschedd; `locsched serve` starts the same
 // server, and `locsched bench` is the load generator that replays a
-// mixed scenario stream against it.
+// mixed scenario stream against it (with a -restart-warm mode proving
+// the store's warm-start contract end to end).
 package server
 
 import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"locsched/internal/store"
 )
 
 // Config tunes the serving daemon. The zero value is not usable; start
@@ -59,6 +69,19 @@ type Config struct {
 	// Scale is the default workload scale for requests that do not set
 	// one (experiment.DefaultConfig's scale when 0).
 	Scale int
+	// StoreDir, when non-empty, enables the disk-backed persistent
+	// result store rooted there: completed responses are written through
+	// and a restarted daemon warm-starts from the surviving entries. An
+	// unusable directory does not fail startup — the daemon runs
+	// memory-only and reports degraded.
+	StoreDir string
+	// StoreBytes bounds the persistent store's on-disk size; oldest
+	// segments are evicted past it (0 = the store default, 256 MiB).
+	StoreBytes int64
+	// Store injects a pre-opened store (tests, restart-warm bench runs);
+	// when set it wins over StoreDir and the caller keeps ownership of
+	// Close.
+	Store *store.Store
 }
 
 // DefaultConfig returns the daemon defaults: a loopback listener, a
@@ -100,6 +123,9 @@ func (c Config) Validate() error {
 	}
 	if c.Scale < 0 {
 		return fmt.Errorf("server: scale %d must be non-negative", c.Scale)
+	}
+	if c.StoreBytes < 0 {
+		return fmt.Errorf("server: store bytes %d must be non-negative", c.StoreBytes)
 	}
 	return nil
 }

@@ -2,9 +2,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -43,15 +45,16 @@ type LoadReport struct {
 	Requests int
 	// Errors counts non-2xx responses and transport failures.
 	Errors int
-	// Cold, Cached, and Coalesced count responses by served-from class
-	// (the X-Locsched-Result header).
-	Cold, Cached, Coalesced int
+	// Cold, Cached, Disk, and Coalesced count responses by served-from
+	// class (the X-Locsched-Result header); Disk is the persistent
+	// store's tier, populated on a warm start.
+	Cold, Cached, Disk, Coalesced int
 	// Elapsed is the wall-clock of the whole run.
 	Elapsed time.Duration
 	// RPS is Requests / Elapsed.
 	RPS float64
-	// HitRate is (Cached + Coalesced) / successful responses: the share
-	// of requests that did not pay for an execution.
+	// HitRate is (Cached + Disk + Coalesced) / successful responses: the
+	// share of requests that did not pay for an execution.
 	HitRate float64
 	// Stats holds this run's /statsz counter deltas (after minus
 	// before), so the report — and the -expect-cache CI assertion built
@@ -120,7 +123,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{}
-	var errs, cold, cached, coalesced atomic.Int64
+	var errs, cold, cached, disk, coalesced atomic.Int64
 	post := func(endpoint string, body []byte) {
 		resp, err := client.Post(base+endpoint, "application/json", bytes.NewReader(body))
 		if err != nil {
@@ -138,6 +141,8 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			cold.Add(1)
 		case "cached":
 			cached.Add(1)
+		case "disk":
+			disk.Add(1)
 		case "coalesced":
 			coalesced.Add(1)
 		}
@@ -201,9 +206,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	rep.Errors = int(errs.Load())
 	rep.Cold = int(cold.Load())
 	rep.Cached = int(cached.Load())
+	rep.Disk = int(disk.Load())
 	rep.Coalesced = int(coalesced.Load())
-	if ok := rep.Cold + rep.Cached + rep.Coalesced; ok > 0 {
-		rep.HitRate = float64(rep.Cached+rep.Coalesced) / float64(ok)
+	if ok := rep.Cold + rep.Cached + rep.Disk + rep.Coalesced; ok > 0 {
+		rep.HitRate = float64(rep.Cached+rep.Disk+rep.Coalesced) / float64(ok)
 	}
 	if rep.Elapsed > 0 {
 		rep.RPS = float64(rep.Requests) / rep.Elapsed.Seconds()
@@ -237,10 +243,13 @@ func statsDelta(after, before StatsSnapshot) StatsSnapshot {
 	d := after
 	d.Requests -= before.Requests
 	d.CacheHits -= before.CacheHits
+	d.DiskHits -= before.DiskHits
+	d.DiskWrites -= before.DiskWrites
 	d.Coalesced -= before.Coalesced
 	d.Executions -= before.Executions
 	d.Rejected -= before.Rejected
 	d.Timeouts -= before.Timeouts
+	d.CoalesceTimeouts -= before.CoalesceTimeouts
 	d.Failures -= before.Failures
 	d.BadRequests -= before.BadRequests
 	d.Experiment.MatrixHits -= before.Experiment.MatrixHits
@@ -255,15 +264,121 @@ func statsDelta(after, before StatsSnapshot) StatsSnapshot {
 	return d
 }
 
+// RestartReport is the outcome of a restart-warm run: the same load
+// replayed against two successive daemon lifetimes over one store
+// directory.
+type RestartReport struct {
+	// Cold is the first lifetime's report: an empty store, every
+	// distinct key executed and written through to disk.
+	Cold *LoadReport
+	// Warm is the second lifetime's report: the restarted daemon serving
+	// the same stream out of the recovered store.
+	Warm *LoadReport
+}
+
+// Verify checks the warm-start contract: the restarted daemon's hit
+// rate must not drop below the first lifetime's, and the warm run must
+// actually have been served from disk.
+func (r *RestartReport) Verify() error {
+	if r.Warm.Errors > 0 {
+		return fmt.Errorf("server: warm run had %d errors", r.Warm.Errors)
+	}
+	if r.Warm.HitRate < r.Cold.HitRate {
+		return fmt.Errorf("server: warm hit rate %.1f%% below pre-restart %.1f%%",
+			100*r.Warm.HitRate, 100*r.Cold.HitRate)
+	}
+	if r.Warm.Stats.DiskHits == 0 {
+		return fmt.Errorf("server: warm run never hit the persistent store")
+	}
+	if r.Warm.Stats.Store.Degraded {
+		return fmt.Errorf("server: store degraded after restart")
+	}
+	return nil
+}
+
+// Format renders the restart-warm outcome for humans.
+func (r *RestartReport) Format() string {
+	var b strings.Builder
+	b.WriteString("=== lifetime 1 (cold store) ===\n")
+	b.WriteString(r.Cold.Format())
+	b.WriteString("=== lifetime 2 (restarted on same store dir) ===\n")
+	b.WriteString(r.Warm.Format())
+	fmt.Fprintf(&b, "restart-warm: hit rate %.1f%% -> %.1f%%, executions %d -> %d, disk hits %d\n",
+		100*r.Cold.HitRate, 100*r.Warm.HitRate,
+		r.Cold.Stats.Executions, r.Warm.Stats.Executions, r.Warm.Stats.DiskHits)
+	return b.String()
+}
+
+// RunRestartWarm proves the persistent store's warm-start contract end
+// to end: it starts an in-process daemon on a loopback port with the
+// given store directory, replays the load, shuts the daemon down
+// (closing the store), starts a fresh daemon over the same directory,
+// and replays the identical load. The caller asserts the contract via
+// RestartReport.Verify.
+func RunRestartWarm(srvCfg Config, load LoadConfig) (*RestartReport, error) {
+	if srvCfg.StoreDir == "" {
+		return nil, fmt.Errorf("server: restart-warm needs a store directory")
+	}
+	if srvCfg.Store != nil {
+		return nil, fmt.Errorf("server: restart-warm must own its store; set StoreDir, not Store")
+	}
+	lifetime := func() (*LoadReport, error) {
+		srv, err := New(srvCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		serveErr := make(chan error, 1)
+		go func() { serveErr <- srv.Serve(l) }()
+		lc := load
+		lc.BaseURL = "http://" + l.Addr().String()
+		rep, err := RunLoad(lc)
+		dctx, cancel := context.WithTimeout(context.Background(), srvCfg.DrainTimeout)
+		defer cancel()
+		if serr := srv.Shutdown(dctx); serr != nil && err == nil {
+			err = fmt.Errorf("server: restart-warm shutdown: %w", serr)
+		}
+		if werr := <-serveErr; werr != nil && werr != http.ErrServerClosed && err == nil {
+			err = werr
+		}
+		if err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+	cold, err := lifetime()
+	if err != nil {
+		return nil, fmt.Errorf("server: restart-warm lifetime 1: %w", err)
+	}
+	warm, err := lifetime()
+	if err != nil {
+		return nil, fmt.Errorf("server: restart-warm lifetime 2: %w", err)
+	}
+	return &RestartReport{Cold: cold, Warm: warm}, nil
+}
+
 // Format renders a load report for humans.
 func (r *LoadReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "load: %d requests in %.2fs = %.1f req/s (%d errors)\n",
 		r.Requests, r.Elapsed.Seconds(), r.RPS, r.Errors)
-	fmt.Fprintf(&b, "served: %d cold, %d cached, %d coalesced (hit rate %.1f%%)\n",
-		r.Cold, r.Cached, r.Coalesced, 100*r.HitRate)
-	fmt.Fprintf(&b, "server (this run): %d executions, %d cache hits, %d coalesced, %d rejected, %d timeouts\n",
-		r.Stats.Executions, r.Stats.CacheHits, r.Stats.Coalesced, r.Stats.Rejected, r.Stats.Timeouts)
+	fmt.Fprintf(&b, "served: %d cold, %d cached, %d disk, %d coalesced (hit rate %.1f%%)\n",
+		r.Cold, r.Cached, r.Disk, r.Coalesced, 100*r.HitRate)
+	fmt.Fprintf(&b, "server (this run): %d executions, %d cache hits, %d coalesced, %d rejected, %d timeouts (%d coalesced)\n",
+		r.Stats.Executions, r.Stats.CacheHits, r.Stats.Coalesced, r.Stats.Rejected, r.Stats.Timeouts, r.Stats.CoalesceTimeouts)
+	if r.Stats.Store.Enabled {
+		st := r.Stats.Store.Store
+		state := "ok"
+		if r.Stats.Store.Degraded {
+			state = "DEGRADED"
+		}
+		fmt.Fprintf(&b, "store (%s): %d disk hits, %d writes this run; %d entries / %d segments / %d B on disk; %d quarantined, %d retries, breaker %s\n",
+			state, r.Stats.DiskHits, r.Stats.DiskWrites, st.Entries, st.Segments, st.DiskBytes,
+			st.Quarantined, st.Retries, st.Breaker)
+	}
 	fmt.Fprintf(&b, "experiment caches: analysis %d/%d/%d hits (matrix/ls/lsm), runner pool %d, intern %d\n",
 		r.Stats.Experiment.MatrixHits, r.Stats.Experiment.LSHits, r.Stats.Experiment.LSMHits,
 		r.Stats.Experiment.RunnerPoolHits, r.Stats.Experiment.InternHits)

@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"time"
+
+	"locsched/internal/store"
 )
 
 // errSaturated is the admission-control rejection: the job queue is full
@@ -16,10 +19,10 @@ import (
 var errSaturated = errors.New("server: job queue saturated")
 
 // resultHeader is the response header classifying how a keyed request
-// was served: "cold" (this request's execution), "cached" (result
-// cache), or "coalesced" (attached to an identical in-flight
-// execution). It is a header precisely so the three bodies stay
-// byte-identical.
+// was served: "cold" (this request's execution), "cached" (memory
+// result cache), "disk" (persistent store, CRC-verified), or
+// "coalesced" (attached to an identical in-flight execution). It is a
+// header precisely so the four bodies stay byte-identical.
 const resultHeader = "X-Locsched-Result"
 
 // task pairs an admitted job with the pending call its waiters block on.
@@ -29,9 +32,10 @@ type task struct {
 }
 
 // Server is the serving daemon: HTTP handlers feeding a bounded job
-// queue over a worker pool, fronted by a singleflight coalescer and a
-// content-addressed result cache. Build with New, serve with
-// ListenAndServe or mount Handler, stop with Shutdown.
+// queue over a worker pool, fronted by a singleflight coalescer, a
+// content-addressed in-memory result cache, and (optionally) the
+// disk-backed persistent store beneath it. Build with New, serve with
+// ListenAndServe/Serve or mount Handler, stop with Shutdown.
 type Server struct {
 	cfg     Config
 	planner Planner
@@ -42,6 +46,14 @@ type Server struct {
 	started time.Time
 	mux     *http.ServeMux
 
+	// store is the persistent tier under the LRU (nil when disabled or
+	// when opening it failed — storeErr holds why). storeOwned marks a
+	// store opened by New, which Shutdown then closes; an injected
+	// cfg.Store stays open for its owner.
+	store      *store.Store
+	storeErr   error
+	storeOwned bool
+
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
 	draining chan struct{}
@@ -50,7 +62,10 @@ type Server struct {
 }
 
 // New builds a Server with started workers. planner == nil uses the
-// production experiment-backed planner.
+// production experiment-backed planner. A configured-but-unusable store
+// directory does not fail construction: the daemon serves memory-only
+// and reports degraded, because a broken disk must cost warm starts,
+// not availability.
 func New(cfg Config, planner Planner) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -66,6 +81,17 @@ func New(cfg Config, planner Planner) (*Server, error) {
 		jobs:     make(chan *task, cfg.QueueDepth),
 		started:  time.Now(),
 		draining: make(chan struct{}),
+	}
+	switch {
+	case cfg.Store != nil:
+		s.store = cfg.Store
+	case cfg.StoreDir != "":
+		st, err := store.Open(cfg.StoreDir, store.Options{MaxBytes: cfg.StoreBytes})
+		if err != nil {
+			s.storeErr = err
+		} else {
+			s.store, s.storeOwned = st, true
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.keyedHandler("run"))
@@ -84,8 +110,9 @@ func New(cfg Config, planner Planner) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // worker drains the job queue: each task executes at most once, fills
-// the result cache on success, and resolves its call so every waiter —
-// leader and coalesced followers alike — receives the same bytes.
+// the result cache (and writes through to the persistent store) on
+// success, and resolves its call so every waiter — leader and coalesced
+// followers alike — receives the same bytes.
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for t := range s.jobs {
@@ -95,9 +122,52 @@ func (s *Server) worker() {
 			s.stats.failures.Add(1)
 		} else {
 			s.cache.put(t.job.Key, body)
+			s.storePut(t.job.Key, body)
 		}
 		s.flight.complete(t.job.Key, t.call, body, err)
 	}
+}
+
+// storePut writes a completed response through to the persistent store,
+// best-effort: the store's own retry/backoff/breaker machinery absorbs
+// failures, and a dropped write only costs a future warm start.
+func (s *Server) storePut(key string, body []byte) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Put(key, body); err == nil {
+		s.stats.diskWrites.Add(1)
+	}
+}
+
+// storeGet consults the persistent tier under the memory cache. A hit
+// is CRC-verified by the store and promoted into the LRU so repeats are
+// served from memory.
+func (s *Server) storeGet(key string) ([]byte, bool) {
+	if s.store == nil {
+		return nil, false
+	}
+	body, ok := s.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	s.stats.diskHits.Add(1)
+	s.cache.put(key, body)
+	return body, true
+}
+
+// storeDegraded reports whether a configured persistent store is
+// currently unavailable: it failed to open, or its circuit breaker is
+// not closed. The daemon keeps serving (memory + recompute); /healthz
+// surfaces the state as "degraded".
+func (s *Server) storeDegraded() bool {
+	if s.storeErr != nil {
+		return true
+	}
+	if s.store == nil {
+		return false
+	}
+	return s.store.Stats().Breaker != store.BreakerClosed
 }
 
 // runJob executes a job, converting a panic into an execution error: a
@@ -144,6 +214,12 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 		if cached, ok := s.cache.get(job.Key); ok {
 			s.stats.cacheHits.Add(1)
 			s.writeBody(w, "cached", cached)
+			return
+		}
+		// Persistent tier: a warm-started daemon serves disk entries
+		// (verified, then promoted into the LRU) instead of recomputing.
+		if body, ok := s.storeGet(job.Key); ok {
+			s.writeBody(w, "disk", body)
 			return
 		}
 
@@ -196,8 +272,14 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 			}
 		case <-ctx.Done():
 			// The execution (if any) continues and will populate the
-			// result cache; only this waiter gives up.
+			// result cache; only this waiter gives up. Timed-out
+			// coalesced followers are counted separately — they paid a
+			// 504 without ever owning an execution, which is invisible
+			// in the aggregate timeout counter alone.
 			s.stats.timeouts.Add(1)
+			if !leader {
+				s.stats.coalesceTimeouts.Add(1)
+			}
 			s.writeError(w, http.StatusGatewayTimeout,
 				fmt.Errorf("server: request deadline exceeded after %v (result may be cached on retry)", timeout))
 		}
@@ -225,11 +307,18 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
 }
 
-// handleHealthz reports liveness; a draining server answers 503 so load
-// balancers stop routing to it while in-flight requests finish.
+// handleHealthz reports liveness. A draining server answers 503 so load
+// balancers stop routing to it while in-flight requests finish; a
+// degraded server — its persistent store unavailable, serving
+// memory-only — answers 200 with status "degraded", because it still
+// serves correctly and must not be drained for a disk problem. Draining
+// wins when both apply.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
+	if s.storeDegraded() {
+		status = "degraded"
+	}
 	select {
 	case <-s.draining:
 		status, code = "draining", http.StatusServiceUnavailable
@@ -256,6 +345,17 @@ func (s *Server) ListenAndServe() error {
 	s.httpSrv = srv
 	s.httpMu.Unlock()
 	return srv.ListenAndServe()
+}
+
+// Serve serves on an existing listener until Shutdown (used by the
+// restart-warm bench harness, which needs an ephemeral port); it
+// returns http.ErrServerClosed after a graceful drain.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.httpMu.Lock()
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	return srv.Serve(l)
 }
 
 // Shutdown drains the server gracefully: mark draining (healthz flips to
@@ -293,6 +393,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		case <-ctx.Done():
 			if err == nil {
 				err = ctx.Err()
+			}
+		}
+		// The workers are done writing through; a store New opened is
+		// closed here (an injected cfg.Store belongs to its caller).
+		if s.store != nil && s.storeOwned {
+			if cerr := s.store.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}
 	})

@@ -255,6 +255,52 @@ func TestDeadline504(t *testing.T) {
 	}
 }
 
+// TestCoalesceTimeoutCounter: when a coalesced follower's deadline
+// expires, the 504 is counted in both timeouts and coalesce_timeouts;
+// the leader's own 504 only increments timeouts. Regression test for
+// the follower-specific counter.
+func TestCoalesceTimeoutCounter(t *testing.T) {
+	p := &fakePlanner{gate: make(chan struct{})}
+	cfg := smallConfig()
+	cfg.RequestTimeout = 150 * time.Millisecond
+	s, ts := testServer(t, cfg, p)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _ := postBody(t, ts.URL+"/v1/run", `{"held":1}`)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("leader status = %d, want 504", resp.StatusCode)
+		}
+	}()
+	// Wait until the leader's job is actually executing, then attach a
+	// follower to the same key.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.started.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, _ := postBody(t, ts.URL+"/v1/run", `{"held":1}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("follower status = %d, want 504", resp.StatusCode)
+	}
+	wg.Wait()
+	close(p.gate)
+
+	if got := s.stats.coalesced.Load(); got != 1 {
+		t.Errorf("coalesced = %d, want 1", got)
+	}
+	if got := s.stats.timeouts.Load(); got != 2 {
+		t.Errorf("timeouts = %d, want 2", got)
+	}
+	if got := s.stats.coalesceTimeouts.Load(); got != 1 {
+		t.Errorf("coalesce_timeouts = %d, want 1 (follower only)", got)
+	}
+}
+
 // TestErrorsAndMethods: plan errors are 400, run errors are 500 and are
 // not cached, GET on keyed endpoints is 405.
 func TestErrorsAndMethods(t *testing.T) {
@@ -411,6 +457,7 @@ func TestConfigValidate(t *testing.T) {
 		"drain":   func(c *Config) { c.DrainTimeout = 0 },
 		"body":    func(c *Config) { c.MaxBodyBytes = 0 },
 		"scale":   func(c *Config) { c.Scale = -1 },
+		"store":   func(c *Config) { c.StoreBytes = -1 },
 	} {
 		cfg := good
 		mut(&cfg)

@@ -5,20 +5,41 @@ import (
 	"time"
 
 	"locsched/internal/experiment"
+	"locsched/internal/store"
 )
 
 // counters holds the daemon's atomic operational counters. Gauges
 // (queue depth, in-flight) are sampled from their owners at snapshot
 // time instead of being tracked here.
 type counters struct {
-	requests   atomic.Int64 // every request on a keyed endpoint
-	cacheHits  atomic.Int64 // served verbatim from the result cache
-	coalesced  atomic.Int64 // attached to an identical in-flight execution
-	executions atomic.Int64 // jobs actually run by the worker pool
-	rejected   atomic.Int64 // 429s from admission control
-	timeouts   atomic.Int64 // 504s from per-request deadlines
-	failures   atomic.Int64 // executions that returned an error
-	badInput   atomic.Int64 // 400s from unparsable/unresolvable requests
+	requests         atomic.Int64 // every request on a keyed endpoint
+	cacheHits        atomic.Int64 // served verbatim from the result cache
+	diskHits         atomic.Int64 // served verified from the persistent store
+	diskWrites       atomic.Int64 // responses written through to the store
+	coalesced        atomic.Int64 // attached to an identical in-flight execution
+	executions       atomic.Int64 // jobs actually run by the worker pool
+	rejected         atomic.Int64 // 429s from admission control
+	timeouts         atomic.Int64 // 504s from per-request deadlines
+	coalesceTimeouts atomic.Int64 // 504s on coalesced followers specifically
+	failures         atomic.Int64 // executions that returned an error
+	badInput         atomic.Int64 // 400s from unparsable/unresolvable requests
+}
+
+// StoreSnapshot is the persistent tier's /statsz section.
+type StoreSnapshot struct {
+	// Enabled reports whether a store directory was configured.
+	Enabled bool `json:"enabled"`
+	// Degraded reports whether the tier is currently unavailable (open
+	// failed, or the breaker is open/half-open) and the daemon is
+	// serving memory-only.
+	Degraded bool `json:"degraded"`
+	// OpenError is the startup open failure, when that is why the tier
+	// is down.
+	OpenError string `json:"open_error,omitempty"`
+	// Store holds the store's own gauges and counters (disk hits and
+	// writes from the daemon's perspective are the top-level DiskHits /
+	// DiskWrites counters).
+	Store store.Stats `json:"store"`
 }
 
 // StatsSnapshot is the /statsz response: the daemon's request counters,
@@ -39,6 +60,16 @@ type StatsSnapshot struct {
 	Rejected int64 `json:"rejected"`
 	// Timeouts counts 504 deadline expiries.
 	Timeouts int64 `json:"timeouts"`
+	// CoalesceTimeouts counts the subset of Timeouts suffered by
+	// coalesced followers — requests that attached to another request's
+	// execution and still saw their own deadline expire.
+	CoalesceTimeouts int64 `json:"coalesce_timeouts"`
+	// DiskHits counts responses served verified from the persistent
+	// store (misses in memory, found on disk).
+	DiskHits int64 `json:"disk_hits"`
+	// DiskWrites counts responses successfully written through to the
+	// persistent store.
+	DiskWrites int64 `json:"disk_writes"`
 	// Failures counts executions that returned an error.
 	Failures int64 `json:"failures"`
 	// BadRequests counts 400 responses.
@@ -54,6 +85,9 @@ type StatsSnapshot struct {
 	ResultEntries int `json:"result_entries"`
 	// ResultBytes is the result cache's current stored byte total.
 	ResultBytes int64 `json:"result_bytes"`
+	// Store is the persistent tier's section: whether it is enabled,
+	// whether it is degraded, and the store's own counters.
+	Store StoreSnapshot `json:"persistent_store"`
 	// Experiment snapshots the experiment layer's content-addressed
 	// caches (analysis tiers, runner pool, intern table).
 	Experiment experiment.CacheStats `json:"experiment"`
@@ -61,21 +95,33 @@ type StatsSnapshot struct {
 
 // snapshot assembles the current statistics.
 func (s *Server) snapshot() StatsSnapshot {
-	return StatsSnapshot{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Requests:      s.stats.requests.Load(),
-		CacheHits:     s.stats.cacheHits.Load(),
-		Coalesced:     s.stats.coalesced.Load(),
-		Executions:    s.stats.executions.Load(),
-		Rejected:      s.stats.rejected.Load(),
-		Timeouts:      s.stats.timeouts.Load(),
-		Failures:      s.stats.failures.Load(),
-		BadRequests:   s.stats.badInput.Load(),
-		QueueDepth:    len(s.jobs),
-		QueueCap:      cap(s.jobs),
-		InflightKeys:  s.flight.pending(),
-		ResultEntries: s.cache.len(),
-		ResultBytes:   s.cache.size(),
-		Experiment:    experiment.Stats(),
+	snap := StatsSnapshot{
+		UptimeSeconds:    time.Since(s.started).Seconds(),
+		Requests:         s.stats.requests.Load(),
+		CacheHits:        s.stats.cacheHits.Load(),
+		CoalesceTimeouts: s.stats.coalesceTimeouts.Load(),
+		DiskHits:         s.stats.diskHits.Load(),
+		DiskWrites:       s.stats.diskWrites.Load(),
+		Coalesced:        s.stats.coalesced.Load(),
+		Executions:       s.stats.executions.Load(),
+		Rejected:         s.stats.rejected.Load(),
+		Timeouts:         s.stats.timeouts.Load(),
+		Failures:         s.stats.failures.Load(),
+		BadRequests:      s.stats.badInput.Load(),
+		QueueDepth:       len(s.jobs),
+		QueueCap:         cap(s.jobs),
+		InflightKeys:     s.flight.pending(),
+		ResultEntries:    s.cache.len(),
+		ResultBytes:      s.cache.size(),
+		Experiment:       experiment.Stats(),
 	}
+	snap.Store.Enabled = s.store != nil || s.storeErr != nil
+	snap.Store.Degraded = s.storeDegraded()
+	if s.storeErr != nil {
+		snap.Store.OpenError = s.storeErr.Error()
+	}
+	if s.store != nil {
+		snap.Store.Store = s.store.Stats()
+	}
+	return snap
 }

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker state names as reported by Stats.Breaker and /statsz.
+const (
+	// BreakerClosed: the store is healthy; all operations proceed.
+	BreakerClosed = "closed"
+	// BreakerOpen: persistent I/O failure tripped the breaker; every
+	// operation is skipped (reads miss, writes drop) until the cooldown
+	// elapses. The daemon keeps serving from memory and recompute.
+	BreakerOpen = "open"
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe operation
+	// is allowed through. Success closes the breaker, failure reopens it.
+	BreakerHalfOpen = "half-open"
+)
+
+// breaker is the store's circuit breaker: consecutive post-retry I/O
+// failures open it, which flips the store into a degraded memory-only
+// mode (every Get misses, every Put drops) instead of stalling each
+// request on a dead disk. After the cooldown a single probe operation is
+// let through half-open; its outcome decides between closing and
+// reopening.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clock     Clock
+
+	mu          sync.Mutex
+	state       string
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       int64
+}
+
+// newBreaker builds a closed breaker.
+func newBreaker(threshold int, cooldown time.Duration, clock Clock) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, clock: clock, state: BreakerClosed}
+}
+
+// allow reports whether an operation may touch the disk now. In the
+// open state it transitions to half-open once the cooldown has elapsed,
+// admitting the caller as the probe; in half-open only the single probe
+// is admitted.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.clock.Now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true
+		}
+		return false
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a completed operation: the failure streak resets and a
+// half-open probe closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// failure records a post-retry operation failure: a failed half-open
+// probe reopens immediately, and a streak reaching the threshold trips
+// the breaker open.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	wasProbe := b.state == BreakerHalfOpen
+	b.probing = false
+	if wasProbe || (b.state == BreakerClosed && b.consecutive >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.clock.Now()
+		b.trips++
+	}
+}
+
+// snapshot returns the current state name and trip count.
+func (b *breaker) snapshot() (state string, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

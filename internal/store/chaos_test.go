@@ -1,0 +1,332 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The chaos suite: every failure mode the store must survive — a crash
+// tearing an append mid-record (SIGKILL/power loss), prefix truncation,
+// flipped bytes, a full disk, and a disk slower than the per-op timeout.
+// The recovery contract under test is exactness: every byte the store
+// serves after recovery is byte-identical to what was originally put
+// (the serving daemon's determinism contract then extends this to "equal
+// to a cold recompute").
+
+// seedStore writes n deterministic entries through a store over fs and
+// closes it, returning the expected key→body map.
+func seedStore(t *testing.T, dir string, opts Options, n int) map[string][]byte {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		want[k] = body(i)
+		if err := s.Put(k, want[k]); err != nil {
+			t.Fatalf("seed Put %s: %v", k, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// assertExact opens dir fresh and requires every Get to be either a
+// clean miss or byte-identical to want — never corrupt bytes.
+func assertExact(t *testing.T, dir string, want map[string][]byte) (served int) {
+	t.Helper()
+	s := mustOpen(t, dir, fastOpts())
+	for k, w := range want {
+		got, ok := s.Get(k)
+		if !ok {
+			continue // quarantined/lost: the caller recomputes — correct
+		}
+		if !bytes.Equal(got, w) {
+			t.Fatalf("served corruption for %s: got %q want %q", k, got, w)
+		}
+		served++
+	}
+	return served
+}
+
+// TestCrashMidWriteRecovers: the filesystem dies partway through an
+// append — the write budget lands a torn prefix of a record, as SIGKILL
+// or power loss would — then the process "restarts" (fresh Open over the
+// real fs). All fully acknowledged entries must recover byte-identically
+// and the store must accept new writes.
+func TestCrashMidWriteRecovers(t *testing.T) {
+	for _, tornBytes := range []int64{1, 7, headerSize - 1, headerSize + 3, headerSize + 20} {
+		t.Run(fmt.Sprintf("torn=%d", tornBytes), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultFS(OSFS{})
+			opts := fastOpts()
+			opts.FS = ffs
+			opts.MaxRetries = 1
+			s, err := Open(dir, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make(map[string][]byte)
+			const n = 10
+			for i := 0; i < n; i++ {
+				k := fmt.Sprintf("key-%04d", i)
+				want[k] = body(i)
+				if err := s.Put(k, want[k]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The "crash": the next record tears tornBytes in. Rotation
+			// retries also fail (every byte is spent), so the Put fails.
+			ffs.SetWriteBudget(tornBytes)
+			if err := s.Put("torn-victim", []byte("never-acknowledged")); err == nil {
+				t.Fatal("torn append reported success")
+			}
+			// No clean Close: a crash doesn't get one.
+
+			served := assertExact(t, dir, want)
+			if served != n {
+				t.Fatalf("recovered %d/%d fully-written entries", served, n)
+			}
+			s2 := mustOpen(t, dir, fastOpts())
+			if _, ok := s2.Get("torn-victim"); ok {
+				t.Fatal("unacknowledged torn record was served")
+			}
+			if err := s2.Put("after-restart", []byte("alive")); err != nil {
+				t.Fatalf("append after crash recovery: %v", err)
+			}
+			if got, ok := s2.Get("after-restart"); !ok || string(got) != "alive" {
+				t.Fatalf("post-restart entry: ok=%v body=%q", ok, got)
+			}
+		})
+	}
+}
+
+// TestENOSPCTripsBreakerThenRecovers: a full disk fails every append;
+// after the breaker threshold the store degrades to memory-only mode
+// (writes drop instantly, no disk I/O) and — once space returns — a
+// half-open probe restores normal service.
+func TestENOSPCTripsBreakerThenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	opts := fastOpts()
+	opts.FS = ffs
+	opts.MaxRetries = 1
+	opts.BreakerThreshold = 2
+	opts.BreakerCooldown = 10 * time.Millisecond
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("pre", []byte("pre-enospc")); err != nil {
+		t.Fatal(err)
+	}
+
+	ffs.SetFailure(func(op Op, path string) error {
+		if op == OpWrite || op == OpOpen {
+			return fmt.Errorf("injected: %w", syscall.ENOSPC)
+		}
+		return nil
+	})
+	// Each failed Put (post-retry) feeds the breaker; threshold 2 trips it.
+	for i := 0; i < 2; i++ {
+		if err := s.Put(fmt.Sprintf("full-%d", i), []byte("x")); err == nil {
+			t.Fatal("Put succeeded on a full disk")
+		}
+	}
+	st := s.Stats()
+	if st.Breaker != BreakerOpen || st.BreakerTrips != 1 {
+		t.Fatalf("breaker %q trips %d, want open after threshold", st.Breaker, st.BreakerTrips)
+	}
+	// Degraded mode: writes drop without touching the disk, reads miss.
+	opens := ffs.Counts()[OpOpen]
+	if err := s.Put("dropped", []byte("x")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded Put error = %v, want ErrDegraded", err)
+	}
+	if _, ok := s.Get("pre"); ok {
+		t.Fatal("degraded store read the disk")
+	}
+	if got := ffs.Counts()[OpOpen]; got != opens {
+		t.Fatalf("degraded mode touched the disk (%d → %d opens)", opens, got)
+	}
+	if s.Stats().DroppedWrites == 0 {
+		t.Fatal("dropped writes not counted")
+	}
+
+	// Space returns; after the cooldown the next op probes half-open and
+	// closes the breaker.
+	ffs.SetFailure(nil)
+	time.Sleep(opts.BreakerCooldown + 5*time.Millisecond)
+	if err := s.Put("healed", []byte("back")); err != nil {
+		t.Fatalf("probe Put after heal: %v", err)
+	}
+	if st := s.Stats(); st.Breaker != BreakerClosed {
+		t.Fatalf("breaker %q after successful probe, want closed", st.Breaker)
+	}
+	if got, ok := s.Get("healed"); !ok || string(got) != "back" {
+		t.Fatalf("post-heal entry: ok=%v body=%q", ok, got)
+	}
+	if got, ok := s.Get("pre"); !ok || string(got) != "pre-enospc" {
+		t.Fatalf("pre-outage entry after heal: ok=%v body=%q", ok, got)
+	}
+}
+
+// TestSlowDiskTimesOutAndDegrades: a disk slower than the per-op timeout
+// must not stall callers; attempts time out, retries back off, and
+// persistent slowness trips the breaker into memory-only mode.
+func TestSlowDiskTimesOutAndDegrades(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	opts := fastOpts()
+	opts.FS = ffs
+	opts.MaxRetries = 1
+	opts.OpTimeout = 5 * time.Millisecond
+	opts.BreakerThreshold = 2
+	opts.BreakerCooldown = time.Minute // stays open for the test's duration
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ffs.SetDelay(60 * time.Millisecond)
+	start := time.Now()
+	for i := 0; i < 2; i++ {
+		if err := s.Put(fmt.Sprintf("slow-%d", i), []byte("x")); err == nil {
+			t.Fatal("Put succeeded against a hung disk")
+		}
+	}
+	// 2 puts × 2 attempts ≈ 4 timeouts ≈ 20ms of waiting, never the full
+	// 60ms-per-op disk stall per attempt chain.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("slow disk stalled the caller for %v", elapsed)
+	}
+	st := s.Stats()
+	if st.OpTimeouts == 0 {
+		t.Fatal("no op timeouts recorded")
+	}
+	if st.Breaker != BreakerOpen {
+		t.Fatalf("breaker %q, want open after persistent slowness", st.Breaker)
+	}
+	// Degraded ops return instantly.
+	start = time.Now()
+	s.Put("fast-fail", []byte("x"))
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("degraded Put took %v, want instant drop", elapsed)
+	}
+}
+
+// TestReadRetryHeals: a transient read failure is retried with backoff
+// and served on a later attempt — no quarantine, no breaker trip.
+func TestReadRetryHeals(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	opts := fastOpts()
+	opts.FS = ffs
+	opts.MaxRetries = 2
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", []byte("flaky-but-fine")); err != nil {
+		t.Fatal(err)
+	}
+
+	var failures int
+	ffs.SetFailure(func(op Op, path string) error {
+		if op == OpRead && failures < 2 {
+			failures++
+			return fmt.Errorf("%w: transient read", ErrInjected)
+		}
+		return nil
+	})
+	got, ok := s.Get("k")
+	if !ok || string(got) != "flaky-but-fine" {
+		t.Fatalf("retried read: ok=%v body=%q", ok, got)
+	}
+	st := s.Stats()
+	if st.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	if st.Quarantined != 0 || st.Breaker != BreakerClosed {
+		t.Fatalf("transient failure quarantined or tripped: %+v", st)
+	}
+}
+
+// TestUnreadableEntryQuarantined: when retries cannot save a read (the
+// segment file is gone), the entry is quarantined so the recompute path
+// rewrites it instead of re-failing on every request.
+func TestUnreadableEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	opts := fastOpts()
+	opts.MaxRetries = 1
+	s := mustOpen(t, dir, opts)
+	if err := s.Put("gone", []byte("about-to-vanish")); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy the segment behind the store's back (opts keep it active,
+	// but reads open fresh handles and will fail).
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no segments found: %v", err)
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get("gone"); ok {
+		t.Fatal("read from a deleted segment succeeded")
+	}
+	st := s.Stats()
+	if st.ReadErrors == 0 || st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats %+v: want read error + quarantine + empty index", st)
+	}
+	// Second Get is a plain miss — no disk I/O retries on a dead entry.
+	if _, ok := s.Get("gone"); ok {
+		t.Fatal("quarantined entry resurrected")
+	}
+}
+
+// TestBreakerHalfOpenFailureReopens: a failed half-open probe reopens
+// the breaker immediately.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b := newBreaker(1, 5*time.Millisecond, RealClock{})
+	b.failure()
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state %q, want open", st)
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed an op before cooldown")
+	}
+	time.Sleep(7 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but probe not allowed")
+	}
+	if b.allow() {
+		t.Fatal("second op allowed while probe in flight")
+	}
+	b.failure()
+	if st, trips := b.snapshot(); st != BreakerOpen || trips != 2 {
+		t.Fatalf("state %q trips %d after failed probe, want open/2", st, trips)
+	}
+	time.Sleep(7 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second probe not allowed")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("state %q after successful probe, want closed", st)
+	}
+}

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the base error FaultFS returns for injected failures;
+// tests match it with errors.Is.
+var ErrInjected = errors.New("store: injected fault")
+
+// Op names one FS operation class for fault targeting.
+type Op string
+
+// The FS operation classes FaultFS can target.
+const (
+	OpMkdir    Op = "mkdir"
+	OpReadDir  Op = "readdir"
+	OpOpen     Op = "open"
+	OpRemove   Op = "remove"
+	OpStat     Op = "stat"
+	OpRead     Op = "read"
+	OpWrite    Op = "write"
+	OpSync     Op = "sync"
+	OpTruncate Op = "truncate"
+)
+
+// FaultFS wraps an inner FS and injects failures for chaos testing: a
+// per-operation failure hook (e.g. ENOSPC on every write), a global
+// write-byte budget whose exhaustion mid-record simulates a SIGKILL or
+// power loss tearing an append, and a per-I/O delay that simulates a
+// slow or hung disk. All knobs are safe to flip while the store is
+// using the filesystem, which is exactly how the chaos suite flips a
+// healthy store into a failing one and back.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	failOp      func(op Op, path string) error
+	writeBudget int64 // < 0: unlimited
+	delay       time.Duration
+	opCounts    map[Op]int64
+}
+
+// NewFaultFS wraps inner with no faults armed.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, writeBudget: -1, opCounts: make(map[Op]int64)}
+}
+
+// SetFailure arms (or, with nil, disarms) the per-operation failure
+// hook; a non-nil error returned by the hook aborts the operation
+// before it reaches the inner FS.
+func (f *FaultFS) SetFailure(hook func(op Op, path string) error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failOp = hook
+}
+
+// FailOps arms a failure hook that fails every operation in ops with an
+// ErrInjected-wrapped error (a convenience over SetFailure).
+func (f *FaultFS) FailOps(ops ...Op) {
+	set := make(map[Op]bool, len(ops))
+	for _, op := range ops {
+		set[op] = true
+	}
+	f.SetFailure(func(op Op, path string) error {
+		if set[op] {
+			return fmt.Errorf("%w: %s %s", ErrInjected, op, path)
+		}
+		return nil
+	})
+}
+
+// SetWriteBudget allows n more bytes of writes in total; the write that
+// would exceed the budget lands its in-budget prefix and then fails,
+// leaving a torn record exactly as a crash mid-append would. Negative n
+// means unlimited.
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// SetDelay makes every read and write sleep for d first (a slow disk).
+func (f *FaultFS) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delay = d
+}
+
+// Counts returns a copy of the per-operation invocation counters
+// (attempted operations, including ones that were failed by injection).
+func (f *FaultFS) Counts() map[Op]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[Op]int64, len(f.opCounts))
+	for k, v := range f.opCounts {
+		out[k] = v
+	}
+	return out
+}
+
+// check records the operation and consults the failure hook and delay.
+func (f *FaultFS) check(op Op, path string) error {
+	f.mu.Lock()
+	f.opCounts[op]++
+	hook := f.failOp
+	delay := f.delay
+	f.mu.Unlock()
+	if delay > 0 && (op == OpRead || op == OpWrite || op == OpSync) {
+		time.Sleep(delay)
+	}
+	if hook != nil {
+		return hook(op, path)
+	}
+	return nil
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadDir implements FS.
+func (f *FaultFS) ReadDir(path string) ([]os.DirEntry, error) {
+	if err := f.check(OpReadDir, path); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(path)
+}
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if err := f.check(OpOpen, path); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, inner: file}, nil
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(path string) error {
+	if err := f.check(OpRemove, path); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// Stat implements FS.
+func (f *FaultFS) Stat(path string) (os.FileInfo, error) {
+	if err := f.check(OpStat, path); err != nil {
+		return nil, err
+	}
+	return f.inner.Stat(path)
+}
+
+// faultFile applies the FaultFS knobs to one open file.
+type faultFile struct {
+	fs    *FaultFS
+	path  string
+	inner File
+}
+
+// Read implements File.
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.check(OpRead, f.path); err != nil {
+		return 0, err
+	}
+	return f.inner.Read(p)
+}
+
+// ReadAt implements File.
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.check(OpRead, f.path); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+// Write implements File, honoring the write-byte budget: the prefix
+// that fits is written through (torn record on disk), the rest is lost.
+func (f *faultFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(OpWrite, f.path); err != nil {
+		return 0, err
+	}
+	f.fs.mu.Lock()
+	budget := f.fs.writeBudget
+	if budget >= 0 {
+		if int64(len(p)) <= budget {
+			f.fs.writeBudget -= int64(len(p))
+		} else {
+			f.fs.writeBudget = 0
+		}
+	}
+	f.fs.mu.Unlock()
+	if budget >= 0 && int64(len(p)) > budget {
+		n, _ := f.inner.Write(p[:budget])
+		return n, fmt.Errorf("%w: write budget exhausted at %s", ErrInjected, f.path)
+	}
+	return f.inner.Write(p)
+}
+
+// Close implements File.
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+// Sync implements File.
+func (f *faultFile) Sync() error {
+	if err := f.fs.check(OpSync, f.path); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+// Truncate implements File.
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.fs.check(OpTruncate, f.path); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}

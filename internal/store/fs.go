@@ -1,0 +1,82 @@
+package store
+
+import (
+	"io"
+	"os"
+	"time"
+)
+
+// FS is the store's filesystem seam: every disk operation the store
+// performs goes through it, so tests and the chaos harness can substitute
+// an error-injecting implementation (FaultFS) without touching the store
+// logic. The production implementation is OSFS.
+type FS interface {
+	// MkdirAll creates a directory tree like os.MkdirAll.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory like os.ReadDir.
+	ReadDir(path string) ([]os.DirEntry, error)
+	// OpenFile opens a file like os.OpenFile.
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	// Remove deletes a file like os.Remove.
+	Remove(path string) error
+	// Stat describes a file like os.Stat.
+	Stat(path string) (os.FileInfo, error)
+}
+
+// File is the store's view of an open file: sequential reads for the
+// recovery scan, positioned reads for entry lookups, appends for the
+// write path, and truncation for clearing a torn tail at open.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Truncate resizes the file, discarding bytes past size.
+	Truncate(size int64) error
+}
+
+// OSFS is the production FS over the real filesystem.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// ReadDir implements FS.
+func (OSFS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+
+// OpenFile implements FS.
+func (OSFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+// Remove implements FS.
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+// Stat implements FS.
+func (OSFS) Stat(path string) (os.FileInfo, error) { return os.Stat(path) }
+
+// Clock is the store's time seam: retry backoff and per-operation
+// timeouts sleep and tick through it, so tests can keep chaos scenarios
+// fast by shrinking the durations rather than faking time.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for the duration.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the time after the duration.
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock is the production Clock over the system clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

@@ -1,0 +1,280 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fastOpts returns options tuned for tests: tiny backoff so retry paths
+// run in microseconds, short timeouts, real filesystem unless overridden.
+func fastOpts() Options {
+	return Options{
+		RetryBase:       10 * time.Microsecond,
+		OpTimeout:       2 * time.Second,
+		BreakerCooldown: 20 * time.Millisecond,
+	}
+}
+
+// mustOpen opens a store or fails the test.
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// body returns a deterministic test body for key i.
+func body(i int) []byte {
+	return []byte(fmt.Sprintf("body-%04d:%s", i, bytes.Repeat([]byte{byte(i)}, 32)))
+}
+
+// TestPutGetRoundtrip: stored bytes come back verified and identical;
+// misses report cleanly.
+func TestPutGetRoundtrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), fastOpts())
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), body(i)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		got, ok := s.Get(fmt.Sprintf("key-%d", i))
+		if !ok || !bytes.Equal(got, body(i)) {
+			t.Fatalf("Get %d: ok=%v body=%q want %q", i, ok, got, body(i))
+		}
+	}
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("absent key reported a hit")
+	}
+	st := s.Stats()
+	if st.Entries != 20 || st.Writes != 20 || st.Hits != 20 || st.Misses != 1 {
+		t.Fatalf("stats %+v: want 20 entries/writes/hits, 1 miss", st)
+	}
+	if st.Breaker != BreakerClosed {
+		t.Fatalf("breaker %q, want closed", st.Breaker)
+	}
+}
+
+// TestReopenWarmStart: a fresh Open over the same directory recovers
+// every entry byte-identically.
+func TestReopenWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, fastOpts())
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, fastOpts())
+	if got := s2.Stats().Recovered; got != n {
+		t.Fatalf("recovered %d entries, want %d", got, n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := s2.Get(fmt.Sprintf("key-%d", i))
+		if !ok || !bytes.Equal(got, body(i)) {
+			t.Fatalf("after reopen, Get %d: ok=%v body=%q", i, ok, got)
+		}
+	}
+	// The reopened store keeps accepting appends, and a third open sees
+	// both generations.
+	if err := s2.Put("post-restart", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := mustOpen(t, dir, fastOpts())
+	if got, ok := s3.Get("post-restart"); !ok || string(got) != "fresh" {
+		t.Fatalf("third-generation Get: ok=%v body=%q", ok, got)
+	}
+}
+
+// TestDuplicatePutIsNoop: re-putting an indexed key writes nothing.
+func TestDuplicatePutIsNoop(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), fastOpts())
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Writes != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v: want exactly 1 write and 1 entry", st)
+	}
+}
+
+// TestSegmentRotationAndEviction: small segments rotate; the byte budget
+// evicts the oldest segments and their entries while recent entries
+// survive.
+func TestSegmentRotationAndEviction(t *testing.T) {
+	opts := fastOpts()
+	opts.MaxSegmentBytes = 256
+	opts.MaxBytes = 1024
+	s := mustOpen(t, t.TempDir(), opts)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.EvictedSegments == 0 {
+		t.Fatalf("no segments evicted under a %d-byte budget: %+v", opts.MaxBytes, st)
+	}
+	if st.DiskBytes > opts.MaxBytes {
+		t.Fatalf("disk bytes %d exceed budget %d", st.DiskBytes, opts.MaxBytes)
+	}
+	// The newest entry always survives; evicted older entries miss.
+	if _, ok := s.Get(fmt.Sprintf("key-%d", n-1)); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	if _, ok := s.Get("key-0"); ok {
+		t.Fatal("oldest entry survived eviction against the budget")
+	}
+	// Everything still readable is still exact.
+	for i := 0; i < n; i++ {
+		if got, ok := s.Get(fmt.Sprintf("key-%d", i)); ok && !bytes.Equal(got, body(i)) {
+			t.Fatalf("entry %d corrupt after eviction: %q", i, got)
+		}
+	}
+}
+
+// TestReadTimeFlipQuarantines: a byte flipped on disk after indexing is
+// caught by the read-time CRC, never served, quarantined, and rewritable.
+func TestReadTimeFlipQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, fastOpts())
+	if err := s.Put("victim", []byte("precious-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one body byte on disk behind the store's back.
+	path := s.segPath(s.activeID)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := s.Get("victim"); ok {
+		t.Fatalf("corrupt entry served: %q", got)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats %+v: want 1 quarantined, 0 entries", st)
+	}
+	// Recompute path: rewrite and read back clean.
+	if err := s.Put("victim", []byte("precious-bytes")); err != nil {
+		t.Fatalf("rewrite after quarantine: %v", err)
+	}
+	if got, ok := s.Get("victim"); !ok || string(got) != "precious-bytes" {
+		t.Fatalf("rewritten entry: ok=%v body=%q", ok, got)
+	}
+}
+
+// TestClosedStore: operations on a closed store fail cleanly.
+func TestClosedStore(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), fastOpts())
+	s.Put("k", []byte("v"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("closed store served a read")
+	}
+	if err := s.Put("k2", []byte("v")); err != ErrClosed {
+		t.Fatalf("Put on closed store: %v, want ErrClosed", err)
+	}
+}
+
+// TestRecordLimits: oversized keys are rejected before touching disk.
+func TestRecordLimits(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), fastOpts())
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(string(bytes.Repeat([]byte("k"), maxKeyLen+1)), []byte("v")); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+	if st := s.Stats(); st.Writes != 0 {
+		t.Fatalf("rejected puts wrote: %+v", st)
+	}
+}
+
+// TestConcurrentPutGet: racing readers and writers over overlapping keys
+// stay consistent (run under -race in CI).
+func TestConcurrentPutGet(t *testing.T) {
+	opts := fastOpts()
+	opts.MaxSegmentBytes = 4 << 10 // force rotations under load
+	s := mustOpen(t, t.TempDir(), opts)
+	const (
+		writers = 4
+		readers = 4
+		keys    = 64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				k := fmt.Sprintf("key-%d", (i+w*17)%keys)
+				if err := s.Put(k, body((i+w*17)%keys)); err != nil {
+					t.Errorf("Put %s: %v", k, err)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < keys*2; i++ {
+				k := (i + r*31) % keys
+				if got, ok := s.Get(fmt.Sprintf("key-%d", k)); ok && !bytes.Equal(got, body(k)) {
+					t.Errorf("Get key-%d returned wrong bytes %q", k, got)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	// Every key must now be present and exact.
+	for i := 0; i < keys; i++ {
+		if got, ok := s.Get(fmt.Sprintf("key-%d", i)); !ok || !bytes.Equal(got, body(i)) {
+			t.Fatalf("final Get key-%d: ok=%v", i, ok)
+		}
+	}
+}
+
+// TestSegmentNameParsing: directory scan ignores foreign files.
+func TestSegmentNameParsing(t *testing.T) {
+	dir := t.TempDir()
+	for _, junk := range []string{"README", "seg-.log", "seg-abc.log", "seg-00000001.tmp", "seg-00000000.log"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := mustOpen(t, dir, fastOpts())
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("store over junk dir: ok=%v body=%q", ok, got)
+	}
+}
