@@ -52,6 +52,9 @@
 //	-missrates     also print miss-rate/conflict tables for fig6, fig7, fig7xl
 //	-json          emit fig6/fig7/fig7xl as JSON instead of tables
 //	-par N         worker pool size for figure/sweep cells (default GOMAXPROCS)
+//	-simpar N      intra-run engine workers per cell (default 0 = sequential
+//	               engine; any value yields bit-identical results, and the
+//	               par×simpar product is clamped to the GOMAXPROCS budget)
 //	-flat          use the flat-stream engine instead of strided-RLE (A/B timing)
 //	-xlpoints S    fig7xl ladder as cores:tasks pairs (default "32:8,64:16,128:32")
 //	-xlmax N       fig7xl doubling ladder 32..N cores (overrides -xlpoints; try 512 or 1024)
@@ -131,6 +134,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	missrates := fs.Bool("missrates", false, "also print miss-rate tables")
 	jsonOut := fs.Bool("json", false, "emit fig6/fig7/fig7xl as JSON instead of tables")
 	par := fs.Int("par", 0, "worker pool size for figure/sweep cells (0 = GOMAXPROCS, 1 = sequential)")
+	simpar := fs.Int("simpar", 0, "intra-run engine workers per cell (0 = sequential engine; results identical at any value; clamped so par*simpar fits GOMAXPROCS)")
 	flat := fs.Bool("flat", false, "use the flat-stream engine instead of strided-RLE (for A/B timing; results are identical)")
 	xlPoints := fs.String("xlpoints", "32:8,64:16,128:32", "fig7xl ladder as comma-separated cores:tasks pairs")
 	xlMax := fs.Int("xlmax", 0, "fig7xl doubling ladder 32..N cores (overrides -xlpoints; 0 = use -xlpoints)")
@@ -164,6 +168,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		{"-cores", int64(*cores)},
 		{"-quantum", *quantum},
 		{"-par", int64(*par)},
+		{"-simpar", int64(*simpar)},
 	} {
 		if c.v < 0 {
 			return usageErr(fmt.Errorf("%s %d: must be non-negative (0 = default)", c.name, c.v))
@@ -198,6 +203,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *par > 0 {
 		opts.cfg.Workers = *par
+	}
+	if *simpar > 0 {
+		opts.cfg.SimWorkers = *simpar
 	}
 	if *affinity >= 0 {
 		opts.cfg.Affinity = *affinity

@@ -130,6 +130,15 @@ func (pc procCursor) reset() {
 	}
 }
 
+// remaining returns the number of accesses left in the cursor's stream
+// (the parallel engine's lookahead bound is derived from it).
+func (pc procCursor) remaining() int64 {
+	if pc.flat != nil {
+		return pc.flat.Remaining()
+	}
+	return pc.rle.Remaining()
+}
+
 type evKind int
 
 const (
@@ -235,11 +244,9 @@ func NewRunner(g *taskgraph.Graph, am layout.AddressMap, cfg Config) (*Runner, e
 	}, nil
 }
 
-// Run simulates the EPG under the dispatcher. The dispatcher must be
-// fresh (its ready/queue state is consumed); cursors and caches are
-// reset automatically between runs.
-func (r *Runner) Run(d Dispatcher) (*Result, error) {
-	g, cfg := r.g, r.cfg
+// resetForRun rewinds every cursor and cache before a repeat run on a
+// reused Runner (the first run starts from construction state).
+func (r *Runner) resetForRun() {
 	if r.runs > 0 {
 		for _, pc := range r.cursors {
 			pc.reset()
@@ -249,6 +256,14 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 		}
 	}
 	r.runs++
+}
+
+// Run simulates the EPG under the dispatcher. The dispatcher must be
+// fresh (its ready/queue state is consumed); cursors and caches are
+// reset automatically between runs.
+func (r *Runner) Run(d Dispatcher) (*Result, error) {
+	g, cfg := r.g, r.cfg
+	r.resetForRun()
 
 	// avail counts processes announced to the dispatcher (Ready or
 	// Preempted) and not yet successfully picked: an upper bound on how
@@ -418,7 +433,7 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 			if pc.flat != nil {
 				cycles, completed = runSegment(pc.flat, r.caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum)
 			} else {
-				cycles, completed = r.runSegmentRLE(pc.rle, r.caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum)
+				cycles, completed = runSegmentRLE(pc.rle, r.caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum, r.blockScratch, r.writeScratch)
 			}
 			st := &res.PerCore[ev.core]
 			st.BusyCycles += cycles

@@ -24,7 +24,12 @@ import (
 // every access still passes the flat path's pre-access cycles<quantum
 // check, and the boundary iteration runs per access so the preemption
 // point lands exactly where the flat engine puts it.
-func (r *Runner) runSegmentRLE(cur *trace.RLECursor, c *cache.Cache, hitLat, missPenalty, wbPenalty, quantum int64) (cycles int64, completed bool) {
+//
+// blockScratch and writeScratch are caller-owned scratch sized to at
+// least the stream's reference count: the sequential engine passes the
+// Runner's shared buffers, the parallel engine passes per-worker ones so
+// concurrent segment executions never share mutable state.
+func runSegmentRLE(cur *trace.RLECursor, c *cache.Cache, hitLat, missPenalty, wbPenalty, quantum int64, blockScratch []int64, writeScratch []bool) (cycles int64, completed bool) {
 	compute := cur.Spec().ComputePerIter
 	s := cur.Stream()
 	nrefs := s.NRefs()
@@ -35,8 +40,8 @@ func (r *Runner) runSegmentRLE(cur *trace.RLECursor, c *cache.Cache, hitLat, mis
 	// Cost of one fully-hitting iteration, for quantum capping.
 	iterCost := compute + int64(nrefs)*hitLat
 
-	blocks := r.blockScratch[:nrefs]
-	writes := r.writeScratch[:nrefs]
+	blocks := blockScratch[:nrefs]
+	writes := writeScratch[:nrefs]
 	for j := 0; j < nrefs; j++ {
 		writes[j] = flags[j]&trace.FlagWrite != 0
 	}

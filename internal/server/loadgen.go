@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,11 @@ type LoadReport struct {
 	Elapsed time.Duration
 	// RPS is Requests / Elapsed.
 	RPS float64
+	// P50, P95, and P99 are per-request latency percentiles (nearest
+	// rank) over every request of the run, hits and executions alike —
+	// the serving-side view of how fast the engines answer. Zero when no
+	// request completed.
+	P50, P95, P99 time.Duration
 	// HitRate is (Cached + Disk + Coalesced) / successful responses: the
 	// share of requests that did not pay for an execution.
 	HitRate float64
@@ -124,7 +130,16 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 
 	rep := &LoadReport{}
 	var errs, cold, cached, disk, coalesced atomic.Int64
+	var latMu sync.Mutex
+	var lats []time.Duration
 	post := func(endpoint string, body []byte) {
+		reqStart := time.Now()
+		defer func() {
+			lat := time.Since(reqStart)
+			latMu.Lock()
+			lats = append(lats, lat)
+			latMu.Unlock()
+		}()
 		resp, err := client.Post(base+endpoint, "application/json", bytes.NewReader(body))
 		if err != nil {
 			errs.Add(1)
@@ -214,6 +229,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	if rep.Elapsed > 0 {
 		rep.RPS = float64(rep.Requests) / rep.Elapsed.Seconds()
 	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.P50 = percentile(lats, 50)
+	rep.P95 = percentile(lats, 95)
+	rep.P99 = percentile(lats, 99)
 
 	after, err := fetchStats(client, base)
 	if err != nil {
@@ -221,6 +240,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 	rep.Stats = statsDelta(after, before)
 	return rep, nil
+}
+
+// percentile returns the nearest-rank p-th percentile of an
+// ascending-sorted latency slice (zero for an empty one).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
 }
 
 // fetchStats reads one /statsz snapshot.
@@ -365,6 +397,8 @@ func (r *LoadReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "load: %d requests in %.2fs = %.1f req/s (%d errors)\n",
 		r.Requests, r.Elapsed.Seconds(), r.RPS, r.Errors)
+	fmt.Fprintf(&b, "latency: p50 %.2fms, p95 %.2fms, p99 %.2fms\n",
+		float64(r.P50.Microseconds())/1e3, float64(r.P95.Microseconds())/1e3, float64(r.P99.Microseconds())/1e3)
 	fmt.Fprintf(&b, "served: %d cold, %d cached, %d disk, %d coalesced (hit rate %.1f%%)\n",
 		r.Cold, r.Cached, r.Disk, r.Coalesced, 100*r.HitRate)
 	fmt.Fprintf(&b, "server (this run): %d executions, %d cache hits, %d coalesced, %d rejected, %d timeouts (%d coalesced)\n",

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPercentile pins the nearest-rank definition the load report uses:
+// p50 of an even-sized set is the lower middle element, p99 of fewer
+// than 100 samples is the maximum, and an empty run reports zero.
+func TestPercentile(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	cases := []struct {
+		sorted []time.Duration
+		p      int
+		want   time.Duration
+	}{
+		{nil, 50, 0},
+		{ms(7), 50, 7 * time.Millisecond},
+		{ms(7), 99, 7 * time.Millisecond},
+		{ms(1, 2, 3, 4), 50, 2 * time.Millisecond},
+		{ms(1, 2, 3, 4), 95, 4 * time.Millisecond},
+		{ms(1, 2, 3, 4, 5), 50, 3 * time.Millisecond},
+		{ms(1, 2, 3, 4, 5), 99, 5 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := percentile(c.sorted, c.p); got != c.want {
+			t.Errorf("percentile(%v, %d) = %v, want %v", c.sorted, c.p, got, c.want)
+		}
+	}
+}
+
+// TestLoadReportFormatLatency: the human report carries the latency
+// percentile line (the CI bench step greps the rendered report).
+func TestLoadReportFormatLatency(t *testing.T) {
+	rep := &LoadReport{
+		P50: 1500 * time.Microsecond,
+		P95: 20 * time.Millisecond,
+		P99: 120 * time.Millisecond,
+	}
+	got := rep.Format()
+	if !strings.Contains(got, "latency: p50 1.50ms, p95 20.00ms, p99 120.00ms") {
+		t.Errorf("report missing latency line:\n%s", got)
+	}
+}

@@ -305,6 +305,7 @@ func newExperimentPlanner(cfg Config) *experimentPlanner {
 		workers = 1
 	}
 	base.Workers = workers
+	base.SimWorkers = cfg.SimWorkers
 	return &experimentPlanner{
 		base:       base,
 		expWorkers: workers,

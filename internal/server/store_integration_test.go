@@ -238,6 +238,14 @@ func TestIntegrationRestartWarm(t *testing.T) {
 	if rep.Warm.Stats.Store.Store.Recovered == 0 {
 		t.Fatalf("warm store recovered no entries\n%s", rep.Format())
 	}
+	// Both lifetimes measured real requests, so the latency percentiles
+	// must be populated and ordered.
+	for name, lr := range map[string]*LoadReport{"cold": rep.Cold, "warm": rep.Warm} {
+		if lr.P50 <= 0 || lr.P95 < lr.P50 || lr.P99 < lr.P95 {
+			t.Errorf("%s lifetime: implausible latency percentiles p50=%v p95=%v p99=%v",
+				name, lr.P50, lr.P95, lr.P99)
+		}
+	}
 }
 
 // TestDrainingBeatsDegraded: a draining daemon answers 503 draining even
