@@ -35,6 +35,11 @@
 //	                                     in-process daemon on the same store
 //	                                     directory, and assert it warm-starts
 //	                                     from disk
+//	locsched bench -fleet [-replicas N]  replay the stream against a single
+//	                                     in-process instance and then an
+//	                                     in-process replica fleet, asserting
+//	                                     byte-identical responses, no worse
+//	                                     hit rate, and below-N× executions
 //
 // Flags:
 //
@@ -479,7 +484,9 @@ func parseXLPoints(s string) ([]locsched.XLPoint, error) {
 // benchMain is the `locsched bench` subcommand: the load generator that
 // replays the mixed scenario stream against a running locschedd, or —
 // with -restart-warm — against two successive in-process daemon
-// lifetimes over one store directory to prove the warm-start contract.
+// lifetimes over one store directory to prove the warm-start contract,
+// or — with -fleet — against a single instance and then an in-process
+// replica fleet to prove the fleet differential contract.
 func benchMain(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("locsched bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -490,12 +497,41 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	timeout := fs.Duration("timeout", 2*time.Minute, "per-request HTTP timeout")
 	expectCache := fs.Bool("expect-cache", false, "exit nonzero unless cache hits AND coalesces were observed (CI assertion)")
 	restartWarm := fs.Bool("restart-warm", false, "run the stream against an in-process daemon, restart it on the same store dir, and assert the warm start")
-	storeDir := fs.String("store-dir", "", "store directory for -restart-warm (required with it)")
+	storeDir := fs.String("store-dir", "", "store directory for -restart-warm / -fleet (optional with -fleet)")
+	fleetMode := fs.Bool("fleet", false, "run the fleet differential bench: the stream against one in-process instance, then an in-process replica fleet, asserting byte-identical bodies and no worse hit rate")
+	replicas := fs.Int("replicas", 3, "fleet size for -fleet")
+	warmManifest := fs.String("warm-manifest", "", "cache manifest to replay as a warm set before the stream (with -serve)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	if *fleetMode {
+		if *serveURL != "" || *restartWarm || fs.NArg() != 0 || *conc <= 0 || *requests <= 0 || *scale < 0 || *replicas < 2 {
+			fmt.Fprintln(stderr, "locsched bench: usage: locsched bench -fleet [-replicas N] [-store-dir DIR] [-conc N] [-requests N] [-scale N] [-timeout D]")
+			return 2
+		}
+		srvCfg := server.DefaultConfig()
+		srvCfg.StoreDir = *storeDir
+		srvCfg.Scale = *scale
+		rep, err := server.RunFleetBench(srvCfg, server.LoadConfig{
+			Concurrency: *conc,
+			Requests:    *requests,
+			Scale:       *scale,
+			Timeout:     *timeout,
+		}, *replicas)
+		if err != nil {
+			fmt.Fprintln(stderr, "locsched bench:", err)
+			return 1
+		}
+		fmt.Fprint(stdout, rep.Format())
+		if err := rep.Verify(); err != nil {
+			fmt.Fprintln(stderr, "locsched bench:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "fleet: OK")
+		return 0
 	}
 	if *restartWarm {
 		if *storeDir == "" || *serveURL != "" || fs.NArg() != 0 || *conc <= 0 || *requests <= 0 || *scale < 0 {
@@ -524,15 +560,16 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *serveURL == "" || fs.NArg() != 0 || *conc <= 0 || *requests <= 0 || *scale < 0 || *storeDir != "" {
-		fmt.Fprintln(stderr, "locsched bench: usage: locsched bench -serve URL [-conc N] [-requests N] [-scale N] [-timeout D] [-expect-cache]")
+		fmt.Fprintln(stderr, "locsched bench: usage: locsched bench -serve URL [-conc N] [-requests N] [-scale N] [-timeout D] [-expect-cache] [-warm-manifest FILE]")
 		return 2
 	}
 	rep, err := server.RunLoad(server.LoadConfig{
-		BaseURL:     *serveURL,
-		Concurrency: *conc,
-		Requests:    *requests,
-		Scale:       *scale,
-		Timeout:     *timeout,
+		BaseURL:      *serveURL,
+		Concurrency:  *conc,
+		Requests:     *requests,
+		Scale:        *scale,
+		Timeout:      *timeout,
+		WarmManifest: *warmManifest,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "locsched bench:", err)

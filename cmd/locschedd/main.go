@@ -22,13 +22,26 @@
 // restarted daemon warm-starts from the surviving entries, corrupt
 // records are quarantined and recomputed rather than served, and a
 // failing disk trips a circuit breaker into degraded memory-only
-// serving instead of failing requests.
+// serving instead of failing requests. Both cache tiers evict by
+// measured cost-per-byte, and shutdown persists an advisory cache
+// manifest that seeds the next lifetime's eviction ranking and lets
+// `locsched bench -warm-manifest` replay a realistic warm set.
+//
+// With -fleet-self (plus -fleet-peers) N daemons form one
+// cache-coherent fleet: a rendezvous-hash ring gives every content key
+// exactly one owner replica, non-owners fetch CRC-verified bytes from
+// the owner (bounded by -peer-timeout, one retry) before recomputing,
+// and locally computed entries replicate back to their owner — one
+// execution per key fleet-wide. Every peer failure mode degrades to
+// local recompute, never an error; `locsched bench -fleet` proves the
+// contract against an in-process 3-replica fleet.
 //
 // Usage:
 //
 //	locschedd [-addr HOST:PORT] [-queue N] [-workers N] [-expworkers N]
 //	          [-cache-entries N] [-cache-mb N] [-timeout D] [-drain D]
 //	          [-scale N] [-store-dir DIR] [-store-mb N]
+//	          [-fleet-self URL] [-fleet-peers URL,URL] [-peer-timeout D]
 //
 // See `locsched bench -serve URL` for the matching load generator.
 package main

@@ -30,11 +30,15 @@ var godocGatedFiles = []string{
 	"internal/server/config.go",
 	"internal/server/stats.go",
 	"internal/server/loadgen.go",
+	"internal/server/loadgen_fleet.go",
 	"internal/server/cli.go",
 	"internal/store/store.go",
 	"internal/store/fs.go",
 	"internal/store/faultfs.go",
 	"internal/store/breaker.go",
+	"internal/store/manifest.go",
+	"internal/fleet/fleet.go",
+	"internal/fleet/client.go",
 }
 
 func TestGodocGate(t *testing.T) {

@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Peer-protocol headers. The CRC travels with the bytes so a fetching
+// replica can reject corruption introduced anywhere between the owner's
+// cache and its own socket; the cost header carries the entry's measured
+// reconstruction cost so cost-aware eviction keeps working on replicas
+// that never paid that cost themselves.
+const (
+	// HeaderCRC is the Castagnoli CRC32 of the response body, lowercase
+	// hex, set on peer GET responses and PUT requests.
+	HeaderCRC = "X-Locsched-Crc"
+	// HeaderCost is the entry's measured compute cost in nanoseconds,
+	// decimal, set alongside HeaderCRC.
+	HeaderCost = "X-Locsched-Cost-Nanos"
+)
+
+// crcTable is the Castagnoli table shared by checksum producers and
+// verifiers (the same polynomial internal/store uses on disk).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the peer-protocol checksum of body: Castagnoli CRC32
+// as lowercase hex.
+func Checksum(body []byte) string {
+	return strconv.FormatUint(uint64(crc32.Checksum(body, crcTable)), 16)
+}
+
+// ErrNotFound reports a clean peer miss: the owner answered but has no
+// entry for the key. The caller recomputes locally; this is not a peer
+// failure and must not feed failure counters.
+var ErrNotFound = errors.New("fleet: peer has no entry")
+
+// ErrCorrupt reports that a peer's bytes failed CRC verification. The
+// bytes are discarded and the caller recomputes locally — corrupted
+// peer data is never served and never retried (the peer would only
+// resend the same bytes).
+var ErrCorrupt = errors.New("fleet: peer response failed CRC verification")
+
+// Client is the peer-fetch HTTP client: bounded per-attempt timeout, a
+// single retry on transport-level failures, and mandatory CRC
+// verification of every fetched body. The zero value is not usable;
+// build with NewClient.
+type Client struct {
+	http    *http.Client
+	timeout time.Duration
+}
+
+// NewClient builds a peer client with the given per-attempt timeout
+// (<= 0 selects 2 s). transport injects a custom http.RoundTripper — the
+// chaos tests' seam — and nil selects http.DefaultTransport.
+func NewClient(timeout time.Duration, transport http.RoundTripper) *Client {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Client{
+		http:    &http.Client{Timeout: timeout, Transport: transport},
+		timeout: timeout,
+	}
+}
+
+// Timeout returns the per-attempt timeout the client was built with.
+func (c *Client) Timeout() time.Duration { return c.timeout }
+
+// peerURL renders the peer-protocol URL for key on a member base URL.
+// Keys are path-escaped; they contain '|' separators but never '/', so
+// the escaped form round-trips through any proxy unambiguously.
+func peerURL(base, key string) string {
+	return base + "/v1/peer/" + url.PathEscape(key)
+}
+
+// Fetch asks the owner replica at base for the bytes of key. It makes at
+// most two attempts (one retry) on transport failures or 5xx answers; a
+// 404 is a clean miss (ErrNotFound, no retry) and a CRC mismatch is
+// ErrCorrupt (no retry — the peer would resend the same bytes). On
+// success it returns the verified body and the entry's recorded compute
+// cost in nanoseconds.
+func (c *Client) Fetch(ctx context.Context, base, key string) (body []byte, costNanos int64, err error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		body, costNanos, err = c.fetchOnce(ctx, base, key)
+		if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) || ctx.Err() != nil {
+			return body, costNanos, err
+		}
+	}
+	return nil, 0, err
+}
+
+// fetchOnce performs one GET attempt with CRC verification.
+func (c *Client) fetchOnce(ctx context.Context, base, key string) ([]byte, int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peerURL(base, key), nil)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: building peer request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: peer fetch from %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, ErrNotFound
+	case resp.StatusCode != http.StatusOK:
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, fmt.Errorf("fleet: peer %s answered %d for %q", base, resp.StatusCode, key)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fleet: reading peer body from %s: %w", base, err)
+	}
+	if resp.Header.Get(HeaderCRC) != Checksum(body) {
+		return nil, 0, ErrCorrupt
+	}
+	cost, _ := strconv.ParseInt(resp.Header.Get(HeaderCost), 10, 64)
+	if cost < 0 {
+		cost = 0
+	}
+	return body, cost, nil
+}
+
+// Replicate writes a locally computed entry through to the owner replica
+// at base (PUT with CRC and cost headers), so the next non-owner fetch
+// for the key finds it where the ring routes. Best-effort with one
+// retry: a failed replication only costs the fleet a future duplicate
+// recompute, never correctness.
+func (c *Client) Replicate(ctx context.Context, base, key string, body []byte, costNanos int64) error {
+	var err error
+	for attempt := 0; attempt < 2; attempt++ {
+		err = c.replicateOnce(ctx, base, key, body, costNanos)
+		if err == nil || ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// replicateOnce performs one PUT attempt.
+func (c *Client) replicateOnce(ctx context.Context, base, key string, body []byte, costNanos int64) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, peerURL(base, key), bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet: building replication request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(HeaderCRC, Checksum(body))
+	req.Header.Set(HeaderCost, strconv.FormatInt(costNanos, 10))
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: replicating to %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: owner %s rejected replication with %d", base, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+// Package fleet is locsched's scale-out layer: the pieces that turn N
+// independent locschedd replicas into one cache-coherent serving fleet.
+//
+// The core is a consistent-hash ring (rendezvous / highest-random-weight
+// hashing, stdlib only) over the replica membership: every
+// content-addressed request key has exactly one owner replica, agreed on
+// by every member that shares the same membership list, with no
+// coordination traffic. A replica that receives a request it does not
+// own consults the owner first (GET /v1/peer/<key>, bounded timeout plus
+// a single retry) before falling back to local recompute, and after a
+// local recompute it replicates the computed bytes back to the owner
+// (PUT /v1/peer/<key>) so the fleet converges on one execution per key
+// instead of one per replica.
+//
+// Rendezvous hashing was chosen over a ketama-style virtual-node ring
+// because it needs no precomputed ring state: Owner is a pure function
+// of (membership, key), membership changes reassign only the keys whose
+// owner actually changed, and the implementation is small enough to
+// verify by inspection — properties that matter more here than the
+// marginal lookup-cost difference at fleet sizes of a handful of
+// replicas.
+//
+// Peer responses are integrity-checked end to end: the serving replica
+// sends a Castagnoli CRC of the body in HeaderCRC and the fetching
+// replica re-verifies it, so a corrupted peer response is rejected and
+// recomputed locally, never served. All failure modes — peer down, peer
+// slow, corrupt bytes, membership change mid-flight — degrade to local
+// recompute; the fleet layer can cost extra work, never correctness.
+package fleet
+
+import (
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Ring is the fleet membership and its consistent-hash key→owner map.
+// Members are replica base URLs (e.g. "http://10.0.0.2:8077"); Self is
+// this replica's own advertised URL and is always a member. A Ring is
+// safe for concurrent use, and SetMembers may be called while lookups
+// are in flight (membership changes mid-stream are a supported, chaos-
+// tested transition).
+type Ring struct {
+	self string
+
+	mu      sync.RWMutex
+	members []string // sorted, deduplicated, always contains self
+}
+
+// NewRing builds a ring for self plus its peers. Duplicates (including
+// self appearing in peers) are collapsed; the member order is
+// canonicalized so every replica given the same membership set computes
+// the same owners.
+func NewRing(self string, peers []string) *Ring {
+	r := &Ring{self: self}
+	r.SetMembers(append([]string{self}, peers...))
+	return r
+}
+
+// Self returns this replica's own member identity.
+func (r *Ring) Self() string { return r.self }
+
+// Members returns the current membership, sorted (a copy).
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// SetMembers replaces the membership. Self is always retained even if
+// absent from the new list (a replica never routes away its own
+// identity), duplicates are collapsed, and the list is sorted so every
+// replica canonicalizes identically.
+func (r *Ring) SetMembers(members []string) {
+	seen := make(map[string]bool, len(members)+1)
+	next := make([]string, 0, len(members)+1)
+	for _, m := range append([]string{r.self}, members...) {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		next = append(next, m)
+	}
+	sort.Strings(next)
+	r.mu.Lock()
+	r.members = next
+	r.mu.Unlock()
+}
+
+// Owner returns the member that owns key: the member with the highest
+// rendezvous score. Ties (astronomically unlikely with a 64-bit hash)
+// break toward the lexicographically smallest member, which the sorted
+// member order provides for free. With a single member (no peers), the
+// owner is always self.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	best, bestScore := r.self, uint64(0)
+	for i, m := range r.members {
+		s := score(m, key)
+		if i == 0 || s > bestScore {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+// Owns reports whether this replica owns key under the current
+// membership.
+func (r *Ring) Owns(key string) bool { return r.Owner(key) == r.self }
+
+// score is the rendezvous hash of one (member, key) pair: FNV-1a over
+// member‖NUL‖key. FNV is stdlib, allocation-free here, and — crucially —
+// deterministic across processes, which a maphash seed would not be.
+func score(member, key string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, member)
+	h.Write([]byte{0})
+	io.WriteString(h, key)
+	return h.Sum64()
+}

@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOwnerDeterministicAcrossRings: every replica that shares a
+// membership set must compute the same owner for every key, regardless
+// of which member it is or the order peers were listed in.
+func TestOwnerDeterministicAcrossRings(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	rings := []*Ring{
+		NewRing(members[0], []string{members[1], members[2]}),
+		NewRing(members[1], []string{members[2], members[0]}),
+		NewRing(members[2], []string{members[0], members[1]}),
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("run|fp%d|LSM|cfg", i)
+		want := rings[0].Owner(key)
+		for _, r := range rings[1:] {
+			if got := r.Owner(key); got != want {
+				t.Fatalf("ring %s: owner(%q) = %q, want %q", r.Self(), key, got, want)
+			}
+		}
+	}
+}
+
+// TestOwnerDistribution: rendezvous hashing must spread keys across all
+// members — no member may own everything or nothing over a key set much
+// larger than the fleet.
+func TestOwnerDistribution(t *testing.T) {
+	r := NewRing("http://a:1", []string{"http://b:1", "http://c:1"})
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range r.Members() {
+		if counts[m] < keys/10 {
+			t.Fatalf("member %s owns only %d of %d keys: %v", m, counts[m], keys, counts)
+		}
+	}
+}
+
+// TestMembershipChangeMinimalMovement: removing one member must only
+// reassign the keys that member owned; every other key keeps its owner
+// (the property that makes rendezvous routing safe to change live).
+func TestMembershipChangeMinimalMovement(t *testing.T) {
+	r := NewRing("http://a:1", []string{"http://b:1", "http://c:1"})
+	const keys = 1000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("key-%d", i))
+	}
+	r.SetMembers([]string{"http://a:1", "http://b:1"}) // c leaves
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("key-%d", i))
+		if before[i] != "http://c:1" && after != before[i] {
+			t.Fatalf("key-%d moved %s -> %s though its owner never left", i, before[i], after)
+		}
+		if after == "http://c:1" {
+			t.Fatalf("key-%d still routed to departed member", i)
+		}
+	}
+}
+
+// TestSetMembersKeepsSelf: a replica never routes away its own identity,
+// even if handed a membership list omitting it.
+func TestSetMembersKeepsSelf(t *testing.T) {
+	r := NewRing("http://a:1", []string{"http://b:1"})
+	r.SetMembers([]string{"http://b:1", "http://c:1"})
+	found := false
+	for _, m := range r.Members() {
+		if m == r.Self() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("self evicted from its own ring: %v", r.Members())
+	}
+}
+
+// TestSingleMemberOwnsEverything: with no peers the ring degenerates to
+// "self owns every key" — the single-instance path.
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r := NewRing("http://a:1", nil)
+	for i := 0; i < 50; i++ {
+		if !r.Owns(fmt.Sprintf("key-%d", i)) {
+			t.Fatal("peerless ring routed a key away from self")
+		}
+	}
+}
+
+// TestRingConcurrentLookupsAndChanges: lookups racing SetMembers must
+// stay safe and always return a current-or-recent member (run under
+// -race in CI).
+func TestRingConcurrentLookupsAndChanges(t *testing.T) {
+	r := NewRing("http://a:1", []string{"http://b:1", "http://c:1"})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if owner := r.Owner(fmt.Sprintf("key-%d-%d", g, i)); owner == "" {
+					t.Error("empty owner")
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			r.SetMembers([]string{"http://a:1", "http://b:1"})
+		} else {
+			r.SetMembers([]string{"http://a:1", "http://b:1", "http://c:1"})
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestClientFetchVerifiesCRC: a body whose CRC header does not match is
+// rejected with ErrCorrupt, and a matching one is returned with its
+// cost.
+func TestClientFetchVerifiesCRC(t *testing.T) {
+	body := []byte(`{"ok":true}`)
+	corrupt := false
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		crc := Checksum(body)
+		if corrupt {
+			crc = "deadbeef"
+		}
+		w.Header().Set(HeaderCRC, crc)
+		w.Header().Set(HeaderCost, "12345")
+		w.Write(body)
+	}))
+	defer srv.Close()
+	c := NewClient(time.Second, nil)
+
+	got, cost, err := c.Fetch(context.Background(), srv.URL, "run|k|LSM|cfg")
+	if err != nil || string(got) != string(body) || cost != 12345 {
+		t.Fatalf("clean fetch: body=%q cost=%d err=%v", got, cost, err)
+	}
+	corrupt = true
+	if _, _, err := c.Fetch(context.Background(), srv.URL, "run|k|LSM|cfg"); err != ErrCorrupt {
+		t.Fatalf("corrupt fetch: err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestClientFetchMissAndRetry: 404 is a clean ErrNotFound with no
+// retry; a 500 is retried exactly once.
+func TestClientFetchMissAndRetry(t *testing.T) {
+	var gets int
+	status := http.StatusNotFound
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gets++
+		w.WriteHeader(status)
+	}))
+	defer srv.Close()
+	c := NewClient(time.Second, nil)
+
+	if _, _, err := c.Fetch(context.Background(), srv.URL, "k"); err != ErrNotFound {
+		t.Fatalf("miss: err=%v, want ErrNotFound", err)
+	}
+	if gets != 1 {
+		t.Fatalf("clean miss was retried: %d attempts", gets)
+	}
+	gets, status = 0, http.StatusInternalServerError
+	if _, _, err := c.Fetch(context.Background(), srv.URL, "k"); err == nil {
+		t.Fatal("5xx fetch succeeded")
+	}
+	if gets != 2 {
+		t.Fatalf("5xx fetch made %d attempts, want 2 (single retry)", gets)
+	}
+}
+
+// TestClientReplicateRoundTrip: Replicate PUTs body, CRC, and cost; the
+// receiver sees exactly what was sent, escaped key included.
+func TestClientReplicateRoundTrip(t *testing.T) {
+	body := []byte("replicated-bytes")
+	key := "run|abc|LSM|cfg"
+	var gotPath, gotCRC, gotCost string
+	var gotBody []byte
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		gotCRC = r.Header.Get(HeaderCRC)
+		gotCost = r.Header.Get(HeaderCost)
+		b := make([]byte, r.ContentLength)
+		r.Body.Read(b)
+		gotBody = b
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	c := NewClient(time.Second, nil)
+	if err := c.Replicate(context.Background(), srv.URL, key, body, 777); err != nil {
+		t.Fatalf("replicate: %v", err)
+	}
+	if gotPath != "/v1/peer/"+key {
+		t.Fatalf("path %q", gotPath)
+	}
+	if string(gotBody) != string(body) || gotCRC != Checksum(body) || gotCost != "777" {
+		t.Fatalf("body=%q crc=%q cost=%q", gotBody, gotCRC, gotCost)
+	}
+}
+
+// TestClientTimeoutBounded: a peer that hangs past the client timeout
+// fails the fetch in bounded time instead of stalling the request path.
+func TestClientTimeoutBounded(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+	c := NewClient(50*time.Millisecond, nil)
+	start := time.Now()
+	_, _, err := c.Fetch(context.Background(), srv.URL, "k")
+	if err == nil {
+		t.Fatal("hung peer fetch succeeded")
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("timeout fetch took %v, want bounded by ~2 attempts x 50ms", e)
+	}
+}

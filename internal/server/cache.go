@@ -20,10 +20,12 @@ type resultCache struct {
 	entries    map[string]*list.Element
 }
 
-// cacheEntry is one cached response.
+// cacheEntry is one cached response with its measured reconstruction
+// cost (compute nanoseconds; zero when unknown).
 type cacheEntry struct {
 	key  string
 	body []byte
+	cost int64
 }
 
 // newResultCache builds an empty cache with the given bounds.
@@ -38,45 +40,97 @@ func newResultCache(maxEntries int, maxBytes int64) *resultCache {
 
 // get returns the cached body for key, marking it most recently used.
 func (c *resultCache) get(key string) ([]byte, bool) {
+	body, _, ok := c.getCost(key)
+	return body, ok
+}
+
+// getCost is get plus the entry's recorded reconstruction cost, which
+// the peer protocol forwards so receiving replicas can rank the entry
+// correctly in their own caches.
+func (c *resultCache) getCost(key string) ([]byte, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		return nil, 0, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	e := el.Value.(*cacheEntry)
+	return e.body, e.cost, true
 }
 
-// put stores body under key, evicting least-recently-used entries until
-// both budgets hold. A body larger than the whole byte budget is not
-// cached at all (it would only evict everything and then miss anyway).
+// put stores body under key with no recorded cost; see putCost.
 func (c *resultCache) put(key string, body []byte) {
+	c.putCost(key, body, 0)
+}
+
+// putCost stores body under key with its measured reconstruction cost,
+// evicting entries until both budgets hold. The victim each round is
+// the entry with the lowest cost-per-byte — cheap bulky responses make
+// room for expensive compact ones — scanning from the least-recently-
+// used end so that equal densities (notably all-zero costs) degrade to
+// exact LRU order. A body larger than the whole byte budget is not
+// cached at all (it would only evict everything and then miss anyway).
+func (c *resultCache) putCost(key string, body []byte, cost int64) {
 	if int64(len(body)) > c.maxBytes {
 		return
+	}
+	if cost < 0 {
+		cost = 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		// Identical key, possibly refreshed body (same content by
 		// construction — keys are content-addressed).
-		c.bytes += int64(len(body)) - int64(len(el.Value.(*cacheEntry).body))
-		el.Value.(*cacheEntry).body = body
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+		if cost > 0 {
+			e.cost = cost
+		}
 		c.ll.MoveToFront(el)
 	} else {
-		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, body: body, cost: cost})
 		c.bytes += int64(len(body))
 	}
 	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
-		oldest := c.ll.Back()
-		if oldest == nil {
+		victim := c.cheapestLocked()
+		if victim == nil {
 			break
 		}
-		e := oldest.Value.(*cacheEntry)
-		c.ll.Remove(oldest)
+		e := victim.Value.(*cacheEntry)
+		c.ll.Remove(victim)
 		delete(c.entries, e.key)
 		c.bytes -= int64(len(e.body))
 	}
+}
+
+// cheapestLocked returns the eviction victim: the entry with the lowest
+// cost-per-byte, ties resolved toward the least recently used (the scan
+// starts at the back and only a strictly lower density displaces the
+// candidate). Callers hold mu.
+func (c *resultCache) cheapestLocked() *list.Element {
+	victim := c.ll.Back()
+	if victim == nil {
+		return nil
+	}
+	best := entryDensity(victim.Value.(*cacheEntry))
+	for el := victim.Prev(); el != nil; el = el.Prev() {
+		if d := entryDensity(el.Value.(*cacheEntry)); d < best {
+			victim, best = el, d
+		}
+	}
+	return victim
+}
+
+// entryDensity is the memory tier's eviction-cost formula:
+// reconstruction cost over body bytes (an empty body ranks cheapest).
+func entryDensity(e *cacheEntry) float64 {
+	if len(e.body) == 0 {
+		return -1
+	}
+	return float64(e.cost) / float64(len(e.body))
 }
 
 // len returns the current entry count.

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 )
 
@@ -32,6 +33,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	scale := fs.Int("scale", 0, "default workload scale for requests that set none (0 = built-in default)")
 	storeDir := fs.String("store-dir", "", "persistent result store directory (empty = memory-only)")
 	storeMB := fs.Int64("store-mb", 0, "persistent store on-disk bound in MiB (0 = store default)")
+	fleetSelf := fs.String("fleet-self", "", "this replica's advertised base URL, enabling fleet mode (empty = single instance)")
+	fleetPeers := fs.String("fleet-peers", "", "comma-separated peer replica base URLs (requires -fleet-self)")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-attempt peer fetch timeout (0 = 2s default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -56,6 +60,15 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	cfg.Scale = *scale
 	cfg.StoreDir = *storeDir
 	cfg.StoreBytes = *storeMB << 20
+	cfg.FleetSelf = *fleetSelf
+	cfg.PeerTimeout = *peerTimeout
+	if *fleetPeers != "" {
+		for _, p := range strings.Split(*fleetPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.FleetPeers = append(cfg.FleetPeers, p)
+			}
+		}
+	}
 
 	srv, err := New(cfg, nil)
 	if err != nil {
@@ -78,6 +91,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(stdout, "locschedd: serving on %s (queue %d, workers %d, cache %d entries / %d MiB)\n",
 		cfg.Addr, cfg.QueueDepth, cfg.Workers, cfg.CacheEntries, cfg.CacheBytes>>20)
+	if cfg.FleetSelf != "" {
+		fmt.Fprintf(stdout, "locschedd: fleet mode as %s with %d peers\n", cfg.FleetSelf, len(cfg.FleetPeers))
+	}
 
 	select {
 	case err := <-errc:

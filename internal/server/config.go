@@ -32,6 +32,7 @@ package server
 
 import (
 	"fmt"
+	"net/http"
 	"runtime"
 	"time"
 
@@ -88,6 +89,22 @@ type Config struct {
 	// when set it wins over StoreDir and the caller keeps ownership of
 	// Close.
 	Store *store.Store
+	// FleetSelf, when non-empty, enables fleet mode: it is this replica's
+	// own advertised base URL (e.g. "http://10.0.0.2:8077"), the identity
+	// it occupies on the consistent-hash ring. Empty keeps the daemon a
+	// single instance with the peer endpoint unregistered — the
+	// single-instance request path is byte-for-byte the pre-fleet one.
+	FleetSelf string
+	// FleetPeers lists the other replicas' base URLs. Requires FleetSelf.
+	FleetPeers []string
+	// PeerTimeout bounds each peer-fetch attempt (0 = the fleet client
+	// default, 2 s). Peer fetches make at most two attempts before
+	// hedging to local recompute.
+	PeerTimeout time.Duration
+	// PeerTransport injects a custom http.RoundTripper under the peer
+	// client — the chaos tests' failure-injection seam (nil = the default
+	// transport).
+	PeerTransport http.RoundTripper
 }
 
 // DefaultConfig returns the daemon defaults: a loopback listener, a
@@ -135,6 +152,12 @@ func (c Config) Validate() error {
 	}
 	if c.StoreBytes < 0 {
 		return fmt.Errorf("server: store bytes %d must be non-negative", c.StoreBytes)
+	}
+	if c.PeerTimeout < 0 {
+		return fmt.Errorf("server: peer timeout %v must be non-negative", c.PeerTimeout)
+	}
+	if len(c.FleetPeers) > 0 && c.FleetSelf == "" {
+		return fmt.Errorf("server: fleet peers require a fleet self URL")
 	}
 	return nil
 }

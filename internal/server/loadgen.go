@@ -38,6 +38,12 @@ type LoadConfig struct {
 	Scale int
 	// Timeout bounds each HTTP request.
 	Timeout time.Duration
+	// WarmManifest, when non-empty, is the path of a cache manifest file
+	// (see store.SaveManifest) whose replayable entries are re-sent
+	// before the live stream: the bench warms the daemon with the
+	// previous lifetime's realistic working set instead of a synthetic
+	// one.
+	WarmManifest string
 }
 
 // LoadReport is the outcome of one load-generation run.
@@ -46,10 +52,11 @@ type LoadReport struct {
 	Requests int
 	// Errors counts non-2xx responses and transport failures.
 	Errors int
-	// Cold, Cached, Disk, and Coalesced count responses by served-from
-	// class (the X-Locsched-Result header); Disk is the persistent
-	// store's tier, populated on a warm start.
-	Cold, Cached, Disk, Coalesced int
+	// Cold, Cached, Disk, Coalesced, and Peer count responses by
+	// served-from class (the X-Locsched-Result header); Disk is the
+	// persistent store's tier, populated on a warm start, and Peer is
+	// fleet mode's owner-replica fetch.
+	Cold, Cached, Disk, Coalesced, Peer int
 	// Elapsed is the wall-clock of the whole run.
 	Elapsed time.Duration
 	// RPS is Requests / Elapsed.
@@ -59,8 +66,9 @@ type LoadReport struct {
 	// the serving-side view of how fast the engines answer. Zero when no
 	// request completed.
 	P50, P95, P99 time.Duration
-	// HitRate is (Cached + Disk + Coalesced) / successful responses: the
-	// share of requests that did not pay for an execution.
+	// HitRate is (Cached + Disk + Coalesced + Peer) / successful
+	// responses: the share of requests that did not pay for a local
+	// execution.
 	HitRate float64
 	// Stats holds this run's /statsz counter deltas (after minus
 	// before), so the report — and the -expect-cache CI assertion built
@@ -129,7 +137,7 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{}
-	var errs, cold, cached, disk, coalesced atomic.Int64
+	var errs, cold, cached, disk, coalesced, peer atomic.Int64
 	var latMu sync.Mutex
 	var lats []time.Duration
 	post := func(endpoint string, body []byte) {
@@ -160,10 +168,28 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 			disk.Add(1)
 		case "coalesced":
 			coalesced.Add(1)
+		case "peer":
+			peer.Add(1)
 		}
 	}
 
 	start := time.Now()
+
+	// Warm replay: before the live stream, re-send the requests a prior
+	// lifetime's cache manifest describes, so the daemon's caches hold a
+	// realistic warm set instead of starting from whatever this stream
+	// happens to touch first.
+	warmed := 0
+	if cfg.WarmManifest != "" {
+		reqs, err := ManifestRequests(cfg.WarmManifest)
+		if err != nil {
+			return nil, fmt.Errorf("server: warm manifest: %w", err)
+		}
+		for _, r := range reqs {
+			post(r.endpoint, r.body)
+		}
+		warmed = len(reqs)
+	}
 
 	// Coalesce burst: all clients fire the identical cold request at
 	// once; one execution runs, the rest coalesce (or arrive late and
@@ -217,14 +243,15 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	wg.Wait()
 
 	rep.Elapsed = time.Since(start)
-	rep.Requests = sent + cfg.Requests
+	rep.Requests = warmed + sent + cfg.Requests
 	rep.Errors = int(errs.Load())
 	rep.Cold = int(cold.Load())
 	rep.Cached = int(cached.Load())
 	rep.Disk = int(disk.Load())
 	rep.Coalesced = int(coalesced.Load())
-	if ok := rep.Cold + rep.Cached + rep.Disk + rep.Coalesced; ok > 0 {
-		rep.HitRate = float64(rep.Cached+rep.Disk+rep.Coalesced) / float64(ok)
+	rep.Peer = int(peer.Load())
+	if ok := rep.Cold + rep.Cached + rep.Disk + rep.Coalesced + rep.Peer; ok > 0 {
+		rep.HitRate = float64(rep.Cached+rep.Disk+rep.Coalesced+rep.Peer) / float64(ok)
 	}
 	if rep.Elapsed > 0 {
 		rep.RPS = float64(rep.Requests) / rep.Elapsed.Seconds()
@@ -243,7 +270,10 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 }
 
 // percentile returns the nearest-rank p-th percentile of an
-// ascending-sorted latency slice (zero for an empty one).
+// ascending-sorted latency slice (zero for an empty one). The computed
+// rank is clamped to [1, len(sorted)] on both ends: tiny streams (one
+// or two samples) and percentiles above 100 must index a real sample,
+// never a misordered or out-of-range one.
 func percentile(sorted []time.Duration, p int) time.Duration {
 	if len(sorted) == 0 {
 		return 0
@@ -251,6 +281,9 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 	rank := (len(sorted)*p + 99) / 100
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
 	return sorted[rank-1]
 }
@@ -284,6 +317,13 @@ func statsDelta(after, before StatsSnapshot) StatsSnapshot {
 	d.CoalesceTimeouts -= before.CoalesceTimeouts
 	d.Failures -= before.Failures
 	d.BadRequests -= before.BadRequests
+	d.PeerHits -= before.PeerHits
+	d.PeerErrors -= before.PeerErrors
+	d.Fleet.PeerMisses -= before.Fleet.PeerMisses
+	d.Fleet.PeerServes -= before.Fleet.PeerServes
+	d.Fleet.ReplicatedIn -= before.Fleet.ReplicatedIn
+	d.Fleet.ReplicatedOut -= before.Fleet.ReplicatedOut
+	d.Fleet.ReplicationErrors -= before.Fleet.ReplicationErrors
 	d.Experiment.MatrixHits -= before.Experiment.MatrixHits
 	d.Experiment.MatrixMisses -= before.Experiment.MatrixMisses
 	d.Experiment.LSHits -= before.Experiment.LSHits
@@ -399,8 +439,8 @@ func (r *LoadReport) Format() string {
 		r.Requests, r.Elapsed.Seconds(), r.RPS, r.Errors)
 	fmt.Fprintf(&b, "latency: p50 %.2fms, p95 %.2fms, p99 %.2fms\n",
 		float64(r.P50.Microseconds())/1e3, float64(r.P95.Microseconds())/1e3, float64(r.P99.Microseconds())/1e3)
-	fmt.Fprintf(&b, "served: %d cold, %d cached, %d disk, %d coalesced (hit rate %.1f%%)\n",
-		r.Cold, r.Cached, r.Disk, r.Coalesced, 100*r.HitRate)
+	fmt.Fprintf(&b, "served: %d cold, %d cached, %d disk, %d coalesced, %d peer (hit rate %.1f%%)\n",
+		r.Cold, r.Cached, r.Disk, r.Coalesced, r.Peer, 100*r.HitRate)
 	fmt.Fprintf(&b, "server (this run): %d executions, %d cache hits, %d coalesced, %d rejected, %d timeouts (%d coalesced)\n",
 		r.Stats.Executions, r.Stats.CacheHits, r.Stats.Coalesced, r.Stats.Rejected, r.Stats.Timeouts, r.Stats.CoalesceTimeouts)
 	if r.Stats.Store.Enabled {

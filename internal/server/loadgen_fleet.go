@@ -1,0 +1,387 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locsched/internal/store"
+)
+
+// The fleet bench: `locsched bench -fleet` proves the scale-out
+// contract end to end without external orchestration. It replays the
+// deterministic mixed stream twice — once against a single in-process
+// daemon (the differential oracle) and once round-robin across an
+// N-replica in-process fleet wired over loopback listeners (the
+// restart-warm two-lifetime pattern, widened sideways) — then checks
+// that every fleet response is byte-identical to the single-instance
+// one, that the fleet's aggregate hit rate is no worse, and that the
+// fleet executed strictly fewer jobs than N independent instances
+// would have.
+
+// ManifestRequests decodes a cache manifest file into the replayable
+// requests recorded in its entries' metadata (endpoint + request
+// body). Entries without replay metadata — foreign writers, cleared
+// replay maps — are skipped silently: the manifest is advisory.
+func ManifestRequests(path string) ([]streamReq, error) {
+	entries, err := store.LoadManifest(store.OSFS{}, path)
+	if err != nil {
+		return nil, err
+	}
+	var reqs []streamReq
+	for _, e := range entries {
+		endpoint, body, ok := DecodeReplayMeta(e.Meta)
+		if !ok {
+			continue
+		}
+		reqs = append(reqs, streamReq{endpoint: "/v1/" + endpoint, body: body})
+	}
+	return reqs, nil
+}
+
+// FleetReport is the outcome of one fleet differential bench: the
+// single-instance oracle run and the aggregate fleet run over the same
+// stream.
+type FleetReport struct {
+	// Replicas is the fleet size.
+	Replicas int
+	// Single is the single-instance oracle run.
+	Single *LoadReport
+	// Fleet is the fleet run: per-request classes aggregated across the
+	// whole fleet, Stats summed across replicas (gauges from replica 0).
+	Fleet *LoadReport
+	// Mismatched counts stream indices whose fleet response body
+	// differed from the single-instance body (must be zero).
+	Mismatched int
+	// PeerHits is the fleet-wide count of responses served from
+	// peer-fetched bytes.
+	PeerHits int64
+	// FleetExecutions is the fleet-wide execution total.
+	FleetExecutions int64
+}
+
+// Verify checks the fleet contract: no errors, byte-identical bodies,
+// aggregate hit rate at least the single-instance baseline, total
+// executions strictly below Replicas × the single-instance count, and
+// actual peer traffic (a fleet that never talks is N single instances).
+func (r *FleetReport) Verify() error {
+	if r.Single.Errors > 0 || r.Fleet.Errors > 0 {
+		return fmt.Errorf("server: fleet bench had errors (single %d, fleet %d)", r.Single.Errors, r.Fleet.Errors)
+	}
+	if r.Mismatched > 0 {
+		return fmt.Errorf("server: %d fleet responses differ from the single-instance oracle", r.Mismatched)
+	}
+	if r.Fleet.HitRate < r.Single.HitRate {
+		return fmt.Errorf("server: fleet hit rate %.1f%% below single-instance %.1f%%",
+			100*r.Fleet.HitRate, 100*r.Single.HitRate)
+	}
+	if limit := int64(r.Replicas) * r.Single.Stats.Executions; r.FleetExecutions >= limit {
+		return fmt.Errorf("server: fleet executed %d jobs, not below %d× single-instance %d",
+			r.FleetExecutions, r.Replicas, r.Single.Stats.Executions)
+	}
+	if r.PeerHits == 0 {
+		return fmt.Errorf("server: fleet run never served from a peer")
+	}
+	return nil
+}
+
+// Format renders the fleet bench outcome for humans.
+func (r *FleetReport) Format() string {
+	var b bytes.Buffer
+	b.WriteString("=== single instance (oracle) ===\n")
+	b.WriteString(r.Single.Format())
+	fmt.Fprintf(&b, "=== fleet (%d replicas) ===\n", r.Replicas)
+	b.WriteString(r.Fleet.Format())
+	fmt.Fprintf(&b, "fleet: hit rate %.1f%% vs single %.1f%%, executions %d vs %d×%d, %d peer hits, %d body mismatches\n",
+		100*r.Fleet.HitRate, 100*r.Single.HitRate,
+		r.FleetExecutions, r.Replicas, r.Single.Stats.Executions, r.PeerHits, r.Mismatched)
+	return b.String()
+}
+
+// fleetNode is one in-process replica: its server, listener, and base
+// URL.
+type fleetNode struct {
+	srv  *Server
+	base string
+	done chan error
+}
+
+// startFleet builds and serves n replicas on loopback listeners, wired
+// into one ring. Listeners are bound first so every replica knows the
+// full membership at construction. Each replica gets its own store
+// directory under storeRoot when non-empty.
+func startFleet(cfg Config, n int, storeRoot string) ([]*fleetNode, error) {
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	nodes := make([]*fleetNode, n)
+	for i := range nodes {
+		c := cfg
+		c.FleetSelf = urls[i]
+		c.FleetPeers = append(append([]string(nil), urls[:i]...), urls[i+1:]...)
+		if storeRoot != "" {
+			c.StoreDir = filepath.Join(storeRoot, fmt.Sprintf("replica-%d", i))
+		}
+		srv, err := New(c, nil)
+		if err != nil {
+			for _, node := range nodes[:i] {
+				node.srv.Shutdown(context.Background())
+			}
+			return nil, err
+		}
+		node := &fleetNode{srv: srv, base: urls[i], done: make(chan error, 1)}
+		go func(l net.Listener) { node.done <- srv.Serve(l) }(listeners[i])
+		nodes[i] = node
+	}
+	return nodes, nil
+}
+
+// stopFleet drains every replica.
+func stopFleet(nodes []*fleetNode, drain time.Duration) error {
+	var first error
+	for _, n := range nodes {
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		if err := n.srv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+		cancel()
+		if err := <-n.done; err != nil && err != http.ErrServerClosed && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// replayStream replays the mixed stream deterministically: request i
+// goes to bases[i%len(bases)], indices are claimed in order off a
+// shared cursor by conc clients, and each index's response body is
+// captured for the differential comparison. Repeats of the same stream
+// slot are ordered — index i+len(stream) starts only after index i
+// completed — so whether a repeat is a hit never depends on how long
+// the first execution of a slow key (the whole-figure request) takes:
+// against a single instance the repeat is a cache hit, against a fleet
+// the prior completion's synchronous owner replication guarantees a
+// peer or cache hit, and the differential stays an equality at any
+// request count. Distinct slots remain fully concurrent. It returns
+// the bodies and a class-count report (Stats left empty for the caller
+// to fill).
+func replayStream(bases []string, stream []streamReq, requests, conc int, timeout time.Duration) ([][]byte, *LoadReport, error) {
+	if requests <= 0 {
+		requests = 2 * len(stream)
+	}
+	if conc <= 0 {
+		conc = 4
+	}
+	client := &http.Client{Timeout: timeout}
+	bodies := make([][]byte, requests)
+	rep := &LoadReport{Requests: requests}
+	var errs, cold, cached, disk, coalesced, peer atomic.Int64
+	var latMu sync.Mutex
+	var lats []time.Duration
+	var next atomic.Int64
+	next.Store(-1)
+	// rounds[slot] counts completed requests of that stream slot; a
+	// worker holding round r of a slot waits for rounds[slot] == r.
+	// Waits only ever look backwards in index order (earlier indices
+	// are always claimed first), so there is no circular wait.
+	rounds := make([]int, len(stream))
+	var roundsMu sync.Mutex
+	roundsCond := sync.NewCond(&roundsMu)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1))
+				if idx >= requests {
+					return
+				}
+				slot, round := idx%len(stream), idx/len(stream)
+				roundsMu.Lock()
+				for rounds[slot] < round {
+					roundsCond.Wait()
+				}
+				roundsMu.Unlock()
+				r := stream[slot]
+				base := bases[idx%len(bases)]
+				func() {
+					// The slot's round advances on every outcome, errors
+					// included — a waiter blocked on a failed predecessor
+					// must not deadlock.
+					reqStart := time.Now()
+					defer func() {
+						lat := time.Since(reqStart)
+						latMu.Lock()
+						lats = append(lats, lat)
+						latMu.Unlock()
+						roundsMu.Lock()
+						rounds[slot]++
+						roundsCond.Broadcast()
+						roundsMu.Unlock()
+					}()
+					resp, err := client.Post(base+r.endpoint, "application/json", bytes.NewReader(r.body))
+					if err != nil {
+						errs.Add(1)
+						return
+					}
+					body, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil || resp.StatusCode != http.StatusOK {
+						errs.Add(1)
+						return
+					}
+					bodies[idx] = body
+					switch resp.Header.Get(resultHeader) {
+					case "cold":
+						cold.Add(1)
+					case "cached":
+						cached.Add(1)
+					case "disk":
+						disk.Add(1)
+					case "coalesced":
+						coalesced.Add(1)
+					case "peer":
+						peer.Add(1)
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	rep.Errors = int(errs.Load())
+	rep.Cold = int(cold.Load())
+	rep.Cached = int(cached.Load())
+	rep.Disk = int(disk.Load())
+	rep.Coalesced = int(coalesced.Load())
+	rep.Peer = int(peer.Load())
+	if ok := rep.Cold + rep.Cached + rep.Disk + rep.Coalesced + rep.Peer; ok > 0 {
+		rep.HitRate = float64(rep.Cached+rep.Disk+rep.Coalesced+rep.Peer) / float64(ok)
+	}
+	if rep.Elapsed > 0 {
+		rep.RPS = float64(rep.Requests) / rep.Elapsed.Seconds()
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.P50 = percentile(lats, 50)
+	rep.P95 = percentile(lats, 95)
+	rep.P99 = percentile(lats, 99)
+	return bodies, rep, nil
+}
+
+// RunFleetBench runs the fleet differential bench: the deterministic
+// mixed stream against one in-process single instance (the oracle),
+// then against a replicas-wide in-process fleet, comparing bodies
+// index by index. srvCfg.StoreDir, when set, is used as a root: the
+// single instance and each replica get disjoint store directories
+// beneath it, mirroring one volume per replica in production.
+func RunFleetBench(srvCfg Config, load LoadConfig, replicas int) (*FleetReport, error) {
+	if replicas < 2 {
+		return nil, fmt.Errorf("server: fleet bench needs at least 2 replicas (got %d)", replicas)
+	}
+	if srvCfg.Store != nil {
+		return nil, fmt.Errorf("server: fleet bench must own its stores; set StoreDir, not Store")
+	}
+	if load.Timeout <= 0 {
+		load.Timeout = 120 * time.Second
+	}
+	storeRoot := srvCfg.StoreDir
+	stream := buildStream(load.Scale)
+
+	// Oracle lifetime: one instance, no fleet.
+	single := srvCfg
+	single.FleetSelf, single.FleetPeers = "", nil
+	if storeRoot != "" {
+		single.StoreDir = filepath.Join(storeRoot, "single")
+	}
+	oracleNodes, err := startFleetSingle(single)
+	if err != nil {
+		return nil, fmt.Errorf("server: fleet bench oracle: %w", err)
+	}
+	oracleBodies, oracleRep, err := replayStream([]string{oracleNodes[0].base}, stream, load.Requests, load.Concurrency, load.Timeout)
+	if err == nil {
+		oracleRep.Stats = oracleNodes[0].srv.snapshot()
+	}
+	if serr := stopFleet(oracleNodes, srvCfg.DrainTimeout); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: fleet bench oracle: %w", err)
+	}
+
+	// Fleet lifetime: the same stream round-robin across the replicas.
+	base := srvCfg
+	base.StoreDir = ""
+	nodes, err := startFleet(base, replicas, storeRoot)
+	if err != nil {
+		return nil, fmt.Errorf("server: fleet bench fleet: %w", err)
+	}
+	bases := make([]string, len(nodes))
+	for i, n := range nodes {
+		bases[i] = n.base
+	}
+	fleetBodies, fleetRep, err := replayStream(bases, stream, load.Requests, load.Concurrency, load.Timeout)
+	rep := &FleetReport{Replicas: replicas, Single: oracleRep, Fleet: fleetRep}
+	if err == nil {
+		for i, n := range nodes {
+			snap := n.srv.snapshot()
+			rep.FleetExecutions += snap.Executions
+			rep.PeerHits += snap.PeerHits
+			if i == 0 {
+				fleetRep.Stats = snap
+			} else {
+				fleetRep.Stats.Executions += snap.Executions
+				fleetRep.Stats.PeerHits += snap.PeerHits
+				fleetRep.Stats.PeerErrors += snap.PeerErrors
+				fleetRep.Stats.CacheHits += snap.CacheHits
+				fleetRep.Stats.DiskHits += snap.DiskHits
+				fleetRep.Stats.DiskWrites += snap.DiskWrites
+			}
+		}
+	}
+	if serr := stopFleet(nodes, srvCfg.DrainTimeout); serr != nil && err == nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: fleet bench fleet: %w", err)
+	}
+	for i := range fleetBodies {
+		if !bytes.Equal(fleetBodies[i], oracleBodies[i]) {
+			rep.Mismatched++
+		}
+	}
+	return rep, nil
+}
+
+// startFleetSingle serves one non-fleet instance the same way
+// startFleet serves replicas, so both lifetimes share setup/teardown.
+func startFleetSingle(cfg Config) ([]*fleetNode, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv, err := New(cfg, nil)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	node := &fleetNode{srv: srv, base: "http://" + l.Addr().String(), done: make(chan error, 1)}
+	go func() { node.done <- srv.Serve(l) }()
+	return []*fleetNode{node}, nil
+}

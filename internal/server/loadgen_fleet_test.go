@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"locsched/internal/store"
+)
+
+// TestFleetDifferential3Replicas is the acceptance differential: the
+// deterministic mixed stream served by a 3-replica in-process fleet
+// (real planner, per-replica store volumes) must be byte-identical to
+// the single-instance oracle, with an aggregate hit rate no worse and
+// total executions strictly below 3× — one execution per distinct key
+// fleet-wide, not one per replica.
+func TestFleetDifferential3Replicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet differential runs real experiments")
+	}
+	srvCfg := DefaultConfig()
+	srvCfg.Workers = 4
+	srvCfg.DrainTimeout = 10 * time.Second
+	srvCfg.StoreDir = t.TempDir()
+	rep, err := RunFleetBench(srvCfg, LoadConfig{
+		Concurrency: 4,
+		Requests:    60,
+		Scale:       1,
+		Timeout:     60 * time.Second,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Fatalf("%v\n%s", err, rep.Format())
+	}
+	// The contract Verify encodes, pinned explicitly: equality-grade
+	// determinism and real scale-out savings.
+	if rep.Mismatched != 0 {
+		t.Fatalf("%d fleet bodies differ from the oracle", rep.Mismatched)
+	}
+	if rep.FleetExecutions != rep.Single.Stats.Executions {
+		t.Fatalf("fleet executed %d jobs fleet-wide, want exactly the oracle's %d (in-order replay, synchronous replication)",
+			rep.FleetExecutions, rep.Single.Stats.Executions)
+	}
+	if rep.PeerHits == 0 {
+		t.Fatal("fleet run never served from a peer")
+	}
+}
+
+// TestRunFleetBenchRejectsBadSetup: the bench guards its contract —
+// fewer than two replicas is not a fleet, and an injected store cannot
+// be shared across replicas (each needs its own volume under StoreDir).
+func TestRunFleetBenchRejectsBadSetup(t *testing.T) {
+	if _, err := RunFleetBench(DefaultConfig(), LoadConfig{}, 1); err == nil {
+		t.Fatal("1-replica fleet bench accepted")
+	}
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cfg := DefaultConfig()
+	cfg.Store = st
+	if _, err := RunFleetBench(cfg, LoadConfig{}, 3); err == nil {
+		t.Fatal("injected shared store accepted")
+	}
+}
+
+// TestWarmManifestReplay: the persisted cache manifest round-trips into
+// replayable requests, and a second lifetime warmed from it serves
+// those requests from the recovered store — the bench's realistic warm
+// set, end to end.
+func TestWarmManifestReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := smallConfig()
+	cfg.StoreDir = dir
+
+	// Lifetime 1: compute three distinct keys, then shut down — Shutdown
+	// persists the manifest with each entry's replay metadata.
+	s1, err := New(cfg, &fakePlanner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	reqs := []string{`{"w":1}`, `{"w":2}`, `{"w":3}`}
+	for _, body := range reqs {
+		if resp, _ := postBody(t, ts1.URL+"/v1/run", body); resp.StatusCode != 200 {
+			t.Fatalf("lifetime 1 request: %d", resp.StatusCode)
+		}
+	}
+	manifestPath := s1.store.ManifestPath()
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(manifestPath); err != nil {
+		t.Fatalf("manifest not persisted: %v", err)
+	}
+
+	replay, err := ManifestRequests(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(reqs) {
+		t.Fatalf("manifest describes %d replayable requests, want %d", len(replay), len(reqs))
+	}
+	for _, r := range replay {
+		if r.endpoint != "/v1/run" {
+			t.Fatalf("replay endpoint %q, want /v1/run", r.endpoint)
+		}
+	}
+
+	// Lifetime 2: a fresh daemon on the same store, warmed via the
+	// manifest by the load generator itself. Every warm request must be
+	// a disk hit — zero executions.
+	p2 := &fakePlanner{}
+	s2, err := New(cfg, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s2.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+	}()
+	rep, err := RunLoad(LoadConfig{
+		BaseURL:      ts2.URL,
+		Concurrency:  2,
+		Requests:     len(reqs), // a short live stream after the warm phase
+		Timeout:      10 * time.Second,
+		WarmManifest: manifestPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("warm replay run had %d errors", rep.Errors)
+	}
+	if rep.Disk < len(reqs) {
+		t.Fatalf("warm replay served %d disk hits, want at least %d (one per manifest entry)", rep.Disk, len(reqs))
+	}
+	if rep.Stats.DiskHits < int64(len(reqs)) {
+		t.Fatalf("statsz disk hits %d, want at least %d", rep.Stats.DiskHits, len(reqs))
+	}
+}

@@ -17,22 +17,53 @@ func TestPercentile(t *testing.T) {
 		}
 		return out
 	}
+	hundred := make([]time.Duration, 100)
+	for i := range hundred {
+		hundred[i] = time.Duration(i+1) * time.Millisecond
+	}
 	cases := []struct {
 		sorted []time.Duration
 		p      int
 		want   time.Duration
 	}{
 		{nil, 50, 0},
+		// One sample: every percentile is that sample — the rank must
+		// clamp into [1, len] instead of misindexing.
 		{ms(7), 50, 7 * time.Millisecond},
+		{ms(7), 95, 7 * time.Millisecond},
 		{ms(7), 99, 7 * time.Millisecond},
+		// Two samples: p50 is the lower middle, the tails are the max.
+		{ms(3, 9), 50, 3 * time.Millisecond},
+		{ms(3, 9), 95, 9 * time.Millisecond},
+		{ms(3, 9), 99, 9 * time.Millisecond},
+		// Three samples.
+		{ms(1, 5, 8), 50, 5 * time.Millisecond},
+		{ms(1, 5, 8), 95, 8 * time.Millisecond},
+		{ms(1, 5, 8), 99, 8 * time.Millisecond},
 		{ms(1, 2, 3, 4), 50, 2 * time.Millisecond},
 		{ms(1, 2, 3, 4), 95, 4 * time.Millisecond},
 		{ms(1, 2, 3, 4, 5), 50, 3 * time.Millisecond},
 		{ms(1, 2, 3, 4, 5), 99, 5 * time.Millisecond},
+		// A 100-sample stream: nearest rank is exact, and an out-of-range
+		// percentile clamps to the maximum instead of panicking.
+		{hundred, 50, 50 * time.Millisecond},
+		{hundred, 95, 95 * time.Millisecond},
+		{hundred, 99, 99 * time.Millisecond},
+		{hundred, 100, 100 * time.Millisecond},
+		{hundred, 101, 100 * time.Millisecond},
 	}
 	for _, c := range cases {
 		if got := percentile(c.sorted, c.p); got != c.want {
-			t.Errorf("percentile(%v, %d) = %v, want %v", c.sorted, c.p, got, c.want)
+			t.Errorf("percentile(len %d, %d) = %v, want %v", len(c.sorted), c.p, got, c.want)
+		}
+	}
+	// Percentiles of a sorted stream are themselves monotone: a smaller
+	// p must never report a larger latency (the misordered-percentiles
+	// regression).
+	for _, n := range []int{1, 2, 3, 100} {
+		s := hundred[:n]
+		if p50, p95, p99 := percentile(s, 50), percentile(s, 95), percentile(s, 99); p50 > p95 || p95 > p99 {
+			t.Errorf("misordered percentiles over %d samples: p50=%v p95=%v p99=%v", n, p50, p95, p99)
 		}
 	}
 }

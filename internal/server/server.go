@@ -8,9 +8,12 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"locsched/internal/fleet"
 	"locsched/internal/store"
 )
 
@@ -20,9 +23,10 @@ var errSaturated = errors.New("server: job queue saturated")
 
 // resultHeader is the response header classifying how a keyed request
 // was served: "cold" (this request's execution), "cached" (memory
-// result cache), "disk" (persistent store, CRC-verified), or
-// "coalesced" (attached to an identical in-flight execution). It is a
-// header precisely so the four bodies stay byte-identical.
+// result cache), "disk" (persistent store, CRC-verified), "coalesced"
+// (attached to an identical in-flight execution), or "peer" (fetched
+// CRC-verified from the key's owner replica in fleet mode). It is a
+// header precisely so all the bodies stay byte-identical.
 const resultHeader = "X-Locsched-Result"
 
 // task pairs an admitted job with the pending call its waiters block on.
@@ -53,6 +57,18 @@ type Server struct {
 	store      *store.Store
 	storeErr   error
 	storeOwned bool
+
+	// ring and peers are the fleet layer (nil when FleetSelf is unset):
+	// the consistent-hash key→owner map and the peer-fetch/replication
+	// client.
+	ring  *fleet.Ring
+	peers *fleet.Client
+
+	// metaMu guards replayMeta: key → endpoint NUL request-body, the
+	// opaque replay blob SaveManifest persists so bench can rebuild the
+	// warm set's requests. Bounded; cleared wholesale when full.
+	metaMu     sync.Mutex
+	replayMeta map[string][]byte
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
@@ -93,12 +109,24 @@ func New(cfg Config, planner Planner) (*Server, error) {
 			s.store, s.storeOwned = st, true
 		}
 	}
+	if cfg.FleetSelf != "" {
+		s.ring = fleet.NewRing(cfg.FleetSelf, cfg.FleetPeers)
+		s.peers = fleet.NewClient(cfg.PeerTimeout, cfg.PeerTransport)
+	}
+	if s.store != nil {
+		s.replayMeta = make(map[string][]byte)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/run", s.keyedHandler("run"))
 	s.mux.HandleFunc("/v1/figure", s.keyedHandler("figure"))
 	s.mux.HandleFunc("/v1/analysis", s.keyedHandler("analysis"))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	if s.ring != nil {
+		// Registered only in fleet mode: a single instance keeps exactly
+		// the pre-fleet route set and request path.
+		s.mux.HandleFunc("/v1/peer/", s.handlePeer)
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -112,48 +140,81 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // worker drains the job queue: each task executes at most once, fills
 // the result cache (and writes through to the persistent store) on
 // success, and resolves its call so every waiter — leader and coalesced
-// followers alike — receives the same bytes.
+// followers alike — receives the same bytes. Execution wall time is
+// recorded as the entry's reconstruction cost for cost-aware eviction.
+// In fleet mode a computed entry this replica does not own is also
+// replicated to its owner — synchronously, before the call completes,
+// so by the time any waiter sees the response the owner can already
+// serve the bytes to the rest of the fleet.
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for t := range s.jobs {
+		start := time.Now()
 		body, err := runJob(t.job)
+		cost := time.Since(start).Nanoseconds()
 		s.stats.executions.Add(1)
 		if err != nil {
 			s.stats.failures.Add(1)
 		} else {
-			s.cache.put(t.job.Key, body)
-			s.storePut(t.job.Key, body)
+			s.cache.putCost(t.job.Key, body, cost)
+			s.storePut(t.job.Key, body, cost)
+			s.replicateToOwner(t.job.Key, body, cost)
 		}
 		s.flight.complete(t.job.Key, t.call, body, err)
 	}
 }
 
+// replicateToOwner writes a locally computed entry through to its owner
+// replica when this replica is not the owner. Best-effort: a failed
+// replication is counted and dropped — it costs the fleet a future
+// duplicate recompute, never correctness.
+func (s *Server) replicateToOwner(key string, body []byte, cost int64) {
+	if s.ring == nil {
+		return
+	}
+	owner := s.ring.Owner(key)
+	if owner == s.ring.Self() {
+		return
+	}
+	if err := s.peers.Replicate(context.Background(), owner, key, body, cost); err != nil {
+		s.stats.peerReplErrors.Add(1)
+		return
+	}
+	s.stats.peerReplOut.Add(1)
+}
+
 // storePut writes a completed response through to the persistent store,
 // best-effort: the store's own retry/backoff/breaker machinery absorbs
 // failures, and a dropped write only costs a future warm start.
-func (s *Server) storePut(key string, body []byte) {
+func (s *Server) storePut(key string, body []byte, cost int64) {
 	if s.store == nil {
 		return
 	}
-	if err := s.store.Put(key, body); err == nil {
+	if err := s.store.PutCost(key, body, cost); err == nil {
 		s.stats.diskWrites.Add(1)
 	}
 }
 
 // storeGet consults the persistent tier under the memory cache. A hit
-// is CRC-verified by the store and promoted into the LRU so repeats are
-// served from memory.
+// is CRC-verified by the store and promoted — with its recorded cost —
+// into the LRU so repeats are served from memory.
 func (s *Server) storeGet(key string) ([]byte, bool) {
-	if s.store == nil {
-		return nil, false
-	}
-	body, ok := s.store.Get(key)
+	body, cost, ok := s.storeGetCost(key)
 	if !ok {
 		return nil, false
 	}
 	s.stats.diskHits.Add(1)
-	s.cache.put(key, body)
+	s.cache.putCost(key, body, cost)
 	return body, true
+}
+
+// storeGetCost is the raw persistent-tier read (no promotion, no hit
+// counter) shared by storeGet and the peer-serving handler.
+func (s *Server) storeGetCost(key string) ([]byte, int64, bool) {
+	if s.store == nil {
+		return nil, 0, false
+	}
+	return s.store.GetWithCost(key)
 }
 
 // storeDegraded reports whether a configured persistent store is
@@ -210,6 +271,7 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
+		s.recordReplayMeta(job.Key, endpoint, body)
 
 		if cached, ok := s.cache.get(job.Key); ok {
 			s.stats.cacheHits.Add(1)
@@ -236,6 +298,19 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 				s.flight.complete(job.Key, c, cached, nil)
 				s.stats.cacheHits.Add(1)
 				s.writeBody(w, "cached", cached)
+				return
+			}
+			// Fleet: if another replica owns this key, ask it before
+			// computing — one peer round-trip against a warm owner beats a
+			// full recompute. Only the coalescing leader pays the fetch;
+			// followers inherit whatever it finds. Every failure mode
+			// (down, slow, corrupt, clean miss) hedges to local recompute,
+			// so the fleet layer can never turn a servable request into an
+			// error.
+			if body, cost, ok := s.peerFetch(r.Context(), job.Key); ok {
+				s.cache.putCost(job.Key, body, cost)
+				s.flight.complete(job.Key, c, body, nil)
+				s.writeBody(w, "peer", body)
 				return
 			}
 			served = "cold"
@@ -284,6 +359,152 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 				fmt.Errorf("server: request deadline exceeded after %v (result may be cached on retry)", timeout))
 		}
 	}
+}
+
+// peerFetch consults the key's owner replica when this replica is not
+// the owner. ok is true only for a CRC-verified peer hit; clean misses
+// and every failure mode report false (and the appropriate counter) so
+// the caller recomputes locally.
+func (s *Server) peerFetch(ctx context.Context, key string) ([]byte, int64, bool) {
+	if s.ring == nil {
+		return nil, 0, false
+	}
+	owner := s.ring.Owner(key)
+	if owner == s.ring.Self() {
+		return nil, 0, false
+	}
+	body, cost, err := s.peers.Fetch(ctx, owner, key)
+	switch {
+	case err == nil:
+		s.stats.peerHits.Add(1)
+		return body, cost, true
+	case errors.Is(err, fleet.ErrNotFound):
+		s.stats.peerMisses.Add(1)
+	default:
+		s.stats.peerErrors.Add(1)
+	}
+	return nil, 0, false
+}
+
+// maxPeerBodyBytes caps inbound peer replication bodies. Response
+// bodies are not bounded by cfg.MaxBodyBytes (that caps requests), so
+// the peer endpoint carries its own generous bound.
+const maxPeerBodyBytes = 64 << 20
+
+// handlePeer serves the fleet peer protocol on /v1/peer/<escaped-key>:
+// GET returns this replica's local bytes for the key (memory or
+// persistent store only — an owner never recomputes on behalf of a
+// peer; a miss is a clean 404 and the asking replica computes), PUT is
+// write-through replication of bytes a non-owner computed. Both
+// directions carry the Castagnoli CRC and the entry's reconstruction
+// cost in headers, and a PUT whose bytes fail their CRC is rejected —
+// corruption stops at the first hop.
+func (s *Server) handlePeer(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/v1/peer/")
+	if key == "" || strings.Contains(key, "/") {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("server: malformed peer key"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		body, cost, ok := s.cache.getCost(key)
+		if !ok {
+			body, cost, ok = s.storeGetCost(key)
+			if ok {
+				// Promote: the owner is about to be asked for this key by
+				// every replica that misses it.
+				s.cache.putCost(key, body, cost)
+			}
+		}
+		if !ok {
+			s.writeError(w, http.StatusNotFound, fmt.Errorf("server: no local entry for key"))
+			return
+		}
+		s.stats.peerServes.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(fleet.HeaderCRC, fleet.Checksum(body))
+		w.Header().Set(fleet.HeaderCost, strconv.FormatInt(cost, 10))
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+	case http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPeerBodyBytes))
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("server: reading replicated body: %w", err))
+			return
+		}
+		if fleet.Checksum(body) != r.Header.Get(fleet.HeaderCRC) {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("server: replicated bytes fail CRC verification"))
+			return
+		}
+		cost, _ := strconv.ParseInt(r.Header.Get(fleet.HeaderCost), 10, 64)
+		if cost < 0 {
+			cost = 0
+		}
+		s.cache.putCost(key, body, cost)
+		s.storePut(key, body, cost)
+		s.stats.peerReplIn.Add(1)
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.Header().Set("Allow", "GET, PUT")
+		s.writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("server: peer endpoint requires GET or PUT"))
+	}
+}
+
+// SetFleetMembers replaces the ring membership at runtime (self is
+// always retained). It is safe during live traffic — in-flight requests
+// routed under the old membership just complete against the old owner
+// or recompute locally — and a no-op when fleet mode is off.
+func (s *Server) SetFleetMembers(members []string) {
+	if s.ring != nil {
+		s.ring.SetMembers(members)
+	}
+}
+
+// maxReplayMeta bounds the replay-metadata map; past it the map is
+// cleared wholesale (like the planner memos — the manifest is advisory,
+// so losing replay blobs for old keys is acceptable).
+const maxReplayMeta = 4096
+
+// recordReplayMeta remembers a key's endpoint and request body so the
+// shutdown manifest can describe how to replay the entry (bench warm
+// sets). Only active with a persistent store.
+func (s *Server) recordReplayMeta(key, endpoint string, body []byte) {
+	if s.replayMeta == nil {
+		return
+	}
+	s.metaMu.Lock()
+	defer s.metaMu.Unlock()
+	if _, ok := s.replayMeta[key]; ok {
+		return
+	}
+	if len(s.replayMeta) >= maxReplayMeta {
+		s.replayMeta = make(map[string][]byte)
+	}
+	s.replayMeta[key] = EncodeReplayMeta(endpoint, body)
+}
+
+// EncodeReplayMeta renders a manifest replay blob: endpoint, NUL,
+// request body (the inverse of DecodeReplayMeta).
+func EncodeReplayMeta(endpoint string, body []byte) []byte {
+	meta := make([]byte, 0, len(endpoint)+1+len(body))
+	meta = append(meta, endpoint...)
+	meta = append(meta, 0)
+	return append(meta, body...)
+}
+
+// DecodeReplayMeta splits a manifest replay blob back into the endpoint
+// and request body that produced the entry. ok is false for blobs this
+// server version cannot interpret (foreign writers, truncation).
+func DecodeReplayMeta(meta []byte) (endpoint string, body []byte, ok bool) {
+	i := strings.IndexByte(string(meta), 0)
+	if i <= 0 {
+		return "", nil, false
+	}
+	switch e := string(meta[:i]); e {
+	case "run", "figure", "analysis":
+		return e, meta[i+1:], true
+	}
+	return "", nil, false
 }
 
 // writeBody sends canonical response bytes with the served-from class.
@@ -395,11 +616,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 				err = ctx.Err()
 			}
 		}
-		// The workers are done writing through; a store New opened is
-		// closed here (an injected cfg.Store belongs to its caller).
-		if s.store != nil && s.storeOwned {
-			if cerr := s.store.Close(); cerr != nil && err == nil {
-				err = cerr
+		// The workers are done writing through: persist the cache
+		// manifest (advisory — costs and replay blobs for the next
+		// lifetime's eviction ranking and bench warm replay), then close
+		// a store New opened (an injected cfg.Store belongs to its
+		// caller, but the manifest is still saved on its behalf because
+		// only this server knows the replay metadata).
+		if s.store != nil {
+			s.metaMu.Lock()
+			meta := s.replayMeta
+			s.metaMu.Unlock()
+			s.store.SaveManifest(func(key string) []byte { return meta[key] })
+			if s.storeOwned {
+				if cerr := s.store.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
 			}
 		}
 	})

@@ -23,6 +23,13 @@ type counters struct {
 	coalesceTimeouts atomic.Int64 // 504s on coalesced followers specifically
 	failures         atomic.Int64 // executions that returned an error
 	badInput         atomic.Int64 // 400s from unparsable/unresolvable requests
+	peerHits         atomic.Int64 // served verified bytes fetched from the owner replica
+	peerMisses       atomic.Int64 // clean peer misses (owner answered 404; recomputed locally)
+	peerErrors       atomic.Int64 // failed peer fetches (down/slow/corrupt; recomputed locally)
+	peerServes       atomic.Int64 // peer GETs this replica answered with bytes
+	peerReplIn       atomic.Int64 // entries replicated into this replica by peers
+	peerReplOut      atomic.Int64 // entries this replica replicated to their owners
+	peerReplErrors   atomic.Int64 // failed outbound replications (best-effort, dropped)
 }
 
 // StoreSnapshot is the persistent tier's /statsz section.
@@ -40,6 +47,30 @@ type StoreSnapshot struct {
 	// writes from the daemon's perspective are the top-level DiskHits /
 	// DiskWrites counters).
 	Store store.Stats `json:"store"`
+}
+
+// FleetSnapshot is the fleet layer's /statsz section.
+type FleetSnapshot struct {
+	// Enabled reports whether fleet mode is on (a FleetSelf URL was
+	// configured).
+	Enabled bool `json:"enabled"`
+	// Self is this replica's own ring identity.
+	Self string `json:"self,omitempty"`
+	// Members is the current ring membership, sorted.
+	Members []string `json:"members,omitempty"`
+	// PeerMisses counts clean owner misses (404) that fell through to
+	// local recompute.
+	PeerMisses int64 `json:"peer_misses"`
+	// PeerServes counts peer GETs this replica answered with bytes.
+	PeerServes int64 `json:"peer_serves"`
+	// ReplicatedIn counts entries peers replicated into this replica.
+	ReplicatedIn int64 `json:"replicated_in"`
+	// ReplicatedOut counts entries this replica wrote through to their
+	// owners.
+	ReplicatedOut int64 `json:"replicated_out"`
+	// ReplicationErrors counts failed outbound replications (dropped;
+	// best-effort by design).
+	ReplicationErrors int64 `json:"replication_errors"`
 }
 
 // StatsSnapshot is the /statsz response: the daemon's request counters,
@@ -70,6 +101,13 @@ type StatsSnapshot struct {
 	// DiskWrites counts responses successfully written through to the
 	// persistent store.
 	DiskWrites int64 `json:"disk_writes"`
+	// PeerHits counts responses served from verified peer-fetched bytes
+	// (misses everywhere locally, found on the owner replica).
+	PeerHits int64 `json:"peer_hits"`
+	// PeerErrors counts peer fetches that failed (peer down, deadline,
+	// corrupt bytes) and degraded to local recompute. A clean 404 miss is
+	// not an error; see the fleet section's PeerMisses.
+	PeerErrors int64 `json:"peer_errors"`
 	// Failures counts executions that returned an error.
 	Failures int64 `json:"failures"`
 	// BadRequests counts 400 responses.
@@ -88,6 +126,10 @@ type StatsSnapshot struct {
 	// Store is the persistent tier's section: whether it is enabled,
 	// whether it is degraded, and the store's own counters.
 	Store StoreSnapshot `json:"persistent_store"`
+	// Fleet is the fleet layer's section: membership and peer-traffic
+	// counters (peer_hits and peer_errors above are the request-path
+	// aggregates).
+	Fleet FleetSnapshot `json:"fleet"`
 	// Experiment snapshots the experiment layer's content-addressed
 	// caches (analysis tiers, runner pool, intern table).
 	Experiment experiment.CacheStats `json:"experiment"`
@@ -102,6 +144,8 @@ func (s *Server) snapshot() StatsSnapshot {
 		CoalesceTimeouts: s.stats.coalesceTimeouts.Load(),
 		DiskHits:         s.stats.diskHits.Load(),
 		DiskWrites:       s.stats.diskWrites.Load(),
+		PeerHits:         s.stats.peerHits.Load(),
+		PeerErrors:       s.stats.peerErrors.Load(),
 		Coalesced:        s.stats.coalesced.Load(),
 		Executions:       s.stats.executions.Load(),
 		Rejected:         s.stats.rejected.Load(),
@@ -122,6 +166,18 @@ func (s *Server) snapshot() StatsSnapshot {
 	}
 	if s.store != nil {
 		snap.Store.Store = s.store.Stats()
+	}
+	if s.ring != nil {
+		snap.Fleet = FleetSnapshot{
+			Enabled:           true,
+			Self:              s.ring.Self(),
+			Members:           s.ring.Members(),
+			PeerMisses:        s.stats.peerMisses.Load(),
+			PeerServes:        s.stats.peerServes.Load(),
+			ReplicatedIn:      s.stats.peerReplIn.Load(),
+			ReplicatedOut:     s.stats.peerReplOut.Load(),
+			ReplicationErrors: s.stats.peerReplErrors.Load(),
+		}
 	}
 	return snap
 }

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The cache manifest is an advisory sidecar file (manifest.lsm) next to
+// the segments. Each record carries one entry's key, its measured
+// reconstruction cost, its body size, and an opaque metadata blob the
+// serving layer uses to replay the entry (endpoint + request body for
+// bench warm-set replay). The manifest is never required for
+// correctness: the segments alone rebuild an exact index, and a
+// missing, truncated, or corrupt manifest only loses eviction precision
+// and replayability. The decoder is therefore maximally tolerant —
+// arbitrary bytes must never panic, a bad header stops the scan, and a
+// record whose payload fails its CRC is skipped individually.
+//
+// Record layout (little-endian):
+//
+//	magic      uint32  "LSMF"
+//	keyLen     uint32
+//	metaLen    uint32
+//	size       uint64  entry body size in bytes
+//	cost       uint64  reconstruction cost in nanoseconds
+//	headerCRC  uint32  Castagnoli over the 28 bytes above
+//	payloadCRC uint32  Castagnoli over key‖meta
+//	key        keyLen bytes
+//	meta       metaLen bytes
+const (
+	// manifestMagic begins every manifest record ("LSMF").
+	manifestMagic = 0x4c534d46
+	// manifestHeaderSize is the fixed manifest record header length.
+	manifestHeaderSize = 36
+	// maxManifestMetaLen bounds a record's opaque metadata blob (sanity
+	// bound for decode validation).
+	maxManifestMetaLen = 1 << 20
+)
+
+// ManifestEntry describes one cached entry in the manifest: its key,
+// its measured reconstruction cost, its body size (used to cross-check
+// the entry against the recovered index before trusting the cost), and
+// an opaque metadata blob owned by the serving layer.
+type ManifestEntry struct {
+	// Key is the entry's content-addressed store key.
+	Key string
+	// CostNanos is the entry's measured reconstruction cost.
+	CostNanos int64
+	// Size is the entry's body size in bytes.
+	Size int64
+	// Meta is an opaque blob the serving layer round-trips (replay
+	// information); the store never interprets it.
+	Meta []byte
+}
+
+// EncodeManifest renders entries as manifest bytes.
+func EncodeManifest(entries []ManifestEntry) []byte {
+	var n int
+	for _, e := range entries {
+		n += manifestHeaderSize + len(e.Key) + len(e.Meta)
+	}
+	out := make([]byte, 0, n)
+	for _, e := range entries {
+		out = append(out, encodeManifestRecord(e)...)
+	}
+	return out
+}
+
+// encodeManifestRecord renders one manifest record. Negative sizes or
+// costs are clamped to zero so the unsigned wire form round-trips.
+func encodeManifestRecord(e ManifestEntry) []byte {
+	size, cost := e.Size, e.CostNanos
+	if size < 0 {
+		size = 0
+	}
+	if cost < 0 {
+		cost = 0
+	}
+	rec := make([]byte, manifestHeaderSize+len(e.Key)+len(e.Meta))
+	binary.LittleEndian.PutUint32(rec[0:4], manifestMagic)
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(e.Key)))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(e.Meta)))
+	binary.LittleEndian.PutUint64(rec[12:20], uint64(size))
+	binary.LittleEndian.PutUint64(rec[20:28], uint64(cost))
+	binary.LittleEndian.PutUint32(rec[28:32], crc32.Checksum(rec[0:28], crcTable))
+	copy(rec[manifestHeaderSize:], e.Key)
+	copy(rec[manifestHeaderSize+len(e.Key):], e.Meta)
+	binary.LittleEndian.PutUint32(rec[32:36], crc32.Checksum(rec[manifestHeaderSize:], crcTable))
+	return rec
+}
+
+// DecodeManifest parses manifest bytes tolerantly: it returns every
+// record with a valid header and payload CRC, stops at the first
+// invalid header (torn tail or untrustworthy lengths), and skips —
+// without aborting — a record whose payload bytes fail their CRC.
+// Arbitrary input never panics and never errors; the worst outcome is
+// an empty slice.
+func DecodeManifest(data []byte) []ManifestEntry {
+	var entries []ManifestEntry
+	off := 0
+	for off+manifestHeaderSize <= len(data) {
+		h := data[off : off+manifestHeaderSize]
+		keyLen, metaLen, size, cost, ok := parseManifestHeader(h)
+		if !ok {
+			break
+		}
+		end := off + manifestHeaderSize + keyLen + metaLen
+		if end > len(data) {
+			break
+		}
+		payload := data[off+manifestHeaderSize : end]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(h[32:36]) {
+			off = end
+			continue
+		}
+		meta := make([]byte, metaLen)
+		copy(meta, payload[keyLen:])
+		entries = append(entries, ManifestEntry{
+			Key:       string(payload[:keyLen]),
+			CostNanos: cost,
+			Size:      size,
+			Meta:      meta,
+		})
+		off = end
+	}
+	return entries
+}
+
+// parseManifestHeader validates one manifest record header in place. ok
+// is false when the magic, the header CRC, or the length/value sanity
+// bounds fail — i.e. when the record cannot be trusted at all.
+func parseManifestHeader(h []byte) (keyLen, metaLen int, size, cost int64, ok bool) {
+	if binary.LittleEndian.Uint32(h[0:4]) != manifestMagic {
+		return 0, 0, 0, 0, false
+	}
+	if crc32.Checksum(h[0:28], crcTable) != binary.LittleEndian.Uint32(h[28:32]) {
+		return 0, 0, 0, 0, false
+	}
+	kl := int(binary.LittleEndian.Uint32(h[4:8]))
+	ml := int(binary.LittleEndian.Uint32(h[8:12]))
+	sz := binary.LittleEndian.Uint64(h[12:20])
+	cn := binary.LittleEndian.Uint64(h[20:28])
+	if kl <= 0 || kl > maxKeyLen || ml < 0 || ml > maxManifestMetaLen {
+		return 0, 0, 0, 0, false
+	}
+	if sz > maxBodyLen || cn > 1<<62 {
+		return 0, 0, 0, 0, false
+	}
+	return kl, ml, int64(sz), int64(cn), true
+}
+
+// WriteManifest writes entries as a manifest file at path through fs,
+// replacing any previous manifest. Single-attempt by design: manifests
+// are advisory, so a failed write is reported but never retried and
+// never feeds a circuit breaker.
+func WriteManifest(fs FS, path string, entries []ManifestEntry) error {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating manifest %s: %w", path, err)
+	}
+	data := EncodeManifest(entries)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing manifest %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing manifest %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// LoadManifest reads and decodes the manifest at path through fs. A
+// missing file is not an error (nil entries); read errors are returned
+// so callers can distinguish "no manifest" from "unreadable disk", and
+// decoding itself never fails — see DecodeManifest.
+func LoadManifest(fs FS, path string) ([]ManifestEntry, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: opening manifest %s: %w", path, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading manifest %s: %w", path, err)
+	}
+	return DecodeManifest(data), nil
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCostAwareSegmentEviction is the eviction-policy regression the
+// fleet work depends on: under byte pressure the store must evict a
+// cheap large entry before an expensive small one, even though the
+// expensive entry is older. (Pure age-based eviction would do the
+// opposite and throw away exactly the results that are costliest to
+// recompute.)
+func TestCostAwareSegmentEviction(t *testing.T) {
+	opts := fastOpts()
+	opts.MaxSegmentBytes = 100
+	opts.MaxBytes = 500
+	s := mustOpen(t, t.TempDir(), opts)
+
+	// Oldest entry: small but very expensive to reconstruct.
+	expBody := bytes.Repeat([]byte("x"), 50)
+	if err := s.PutCost("exp", expBody, 5_000_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Then a stream of large, free-to-reconstruct entries that blows the
+	// byte budget several times over.
+	const cheap = 8
+	for i := 0; i < cheap; i++ {
+		if err := s.PutCost(fmt.Sprintf("cheap-%d", i), bytes.Repeat([]byte("y"), 90), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := s.Stats()
+	if st.EvictedSegments == 0 {
+		t.Fatalf("no eviction under a %d-byte budget: %+v", opts.MaxBytes, st)
+	}
+	if st.DiskBytes > opts.MaxBytes {
+		t.Fatalf("disk bytes %d exceed budget %d", st.DiskBytes, opts.MaxBytes)
+	}
+	body, cost, ok := s.GetWithCost("exp")
+	if !ok || !bytes.Equal(body, expBody) {
+		t.Fatalf("expensive entry evicted before cheap ones: ok=%v", ok)
+	}
+	if cost != 5_000_000_000 {
+		t.Fatalf("GetWithCost cost = %d, want 5e9", cost)
+	}
+	if _, ok := s.Get("cheap-0"); ok {
+		t.Fatal("oldest cheap entry survived while the budget was blown")
+	}
+	if _, ok := s.Get(fmt.Sprintf("cheap-%d", cheap-1)); !ok {
+		t.Fatal("newest entry (active segment) was evicted")
+	}
+}
+
+// TestCostlessEvictionStaysOldestFirst: with no recorded costs the
+// cost-per-byte ranking ties everywhere and eviction must degrade to
+// the previous oldest-first order exactly.
+func TestCostlessEvictionStaysOldestFirst(t *testing.T) {
+	opts := fastOpts()
+	opts.MaxSegmentBytes = 256
+	opts.MaxBytes = 1024
+	s := mustOpen(t, t.TempDir(), opts)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), body(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scanning from the oldest key upward, hits must be a suffix: once a
+	// key survives, every newer key survives too (oldest-first order).
+	seenHit := false
+	for i := 0; i < n; i++ {
+		_, ok := s.Get(fmt.Sprintf("key-%d", i))
+		if seenHit && !ok {
+			t.Fatalf("key-%d evicted though an older key survived: not oldest-first", i)
+		}
+		seenHit = seenHit || ok
+	}
+	if !seenHit {
+		t.Fatal("every entry evicted")
+	}
+}
+
+// TestManifestRoundTrip: encode → decode returns the entries exactly,
+// meta blobs included.
+func TestManifestRoundTrip(t *testing.T) {
+	entries := []ManifestEntry{
+		{Key: "run|fp|LSM|cfg", CostNanos: 123456, Size: 512, Meta: []byte("/v1/run\x00{\"app\":\"enc\"}")},
+		{Key: "figure|fig6", CostNanos: 9_999_999_999, Size: 1, Meta: nil},
+		{Key: "k", CostNanos: 0, Size: 0, Meta: []byte{0, 1, 2, 255}},
+	}
+	got := DecodeManifest(EncodeManifest(entries))
+	if len(got) != len(entries) {
+		t.Fatalf("round trip returned %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range entries {
+		g := got[i]
+		if g.Key != e.Key || g.CostNanos != e.CostNanos || g.Size != e.Size || !bytes.Equal(g.Meta, e.Meta) {
+			t.Fatalf("entry %d round-tripped as %+v, want %+v", i, g, e)
+		}
+	}
+}
+
+// TestManifestDecodeTolerant: torn tails stop the scan cleanly, a
+// payload bit flip skips only its record, and garbage yields nothing —
+// never a panic, never an error.
+func TestManifestDecodeTolerant(t *testing.T) {
+	entries := []ManifestEntry{
+		{Key: "a", CostNanos: 1, Size: 10, Meta: []byte("ma")},
+		{Key: "b", CostNanos: 2, Size: 20, Meta: []byte("mb")},
+		{Key: "c", CostNanos: 3, Size: 30, Meta: []byte("mc")},
+	}
+	data := EncodeManifest(entries)
+
+	if got := DecodeManifest(data[:len(data)-5]); len(got) != 2 {
+		t.Fatalf("torn tail decoded %d entries, want 2", len(got))
+	}
+	// Flip a payload byte of the middle record: a and c must survive.
+	recLen := len(data) / 3
+	flipped := append([]byte(nil), data...)
+	flipped[recLen+manifestHeaderSize] ^= 0xff
+	got := DecodeManifest(flipped)
+	if len(got) != 2 || got[0].Key != "a" || got[1].Key != "c" {
+		t.Fatalf("payload flip: decoded %+v, want a and c", got)
+	}
+	// Flip a header byte: the scan cannot trust lengths and must stop.
+	flipped = append([]byte(nil), data...)
+	flipped[recLen+4] ^= 0xff
+	if got := DecodeManifest(flipped); len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("header flip: decoded %+v, want just a", got)
+	}
+	if got := DecodeManifest([]byte("not a manifest at all")); got != nil {
+		t.Fatalf("garbage decoded %+v", got)
+	}
+	if got := DecodeManifest(nil); got != nil {
+		t.Fatalf("nil input decoded %+v", got)
+	}
+}
+
+// TestManifestSeedsCostsAcrossReopen: SaveManifest persists costs and
+// metas; a reopened store serves the same costs through GetWithCost and
+// LoadManifest returns the metas for warm replay.
+func TestManifestSeedsCostsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, fastOpts())
+	if err := s.PutCost("k1", []byte("body-one"), 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCost("k2", []byte("body-two!"), 222); err != nil {
+		t.Fatal(err)
+	}
+	metaOf := func(key string) []byte { return []byte("meta:" + key) }
+	if err := s.SaveManifest(metaOf); err != nil {
+		t.Fatalf("SaveManifest: %v", err)
+	}
+	s.Close()
+
+	s2 := mustOpen(t, dir, fastOpts())
+	if _, cost, ok := s2.GetWithCost("k1"); !ok || cost != 111 {
+		t.Fatalf("k1 after reopen: ok=%v cost=%d, want 111", ok, cost)
+	}
+	if _, cost, ok := s2.GetWithCost("k2"); !ok || cost != 222 {
+		t.Fatalf("k2 after reopen: ok=%v cost=%d, want 222", ok, cost)
+	}
+	entries, err := LoadManifest(OSFS{}, s2.ManifestPath())
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("LoadManifest: %d entries, err=%v", len(entries), err)
+	}
+	for _, e := range entries {
+		if string(e.Meta) != "meta:"+e.Key {
+			t.Fatalf("entry %q meta %q did not round-trip", e.Key, e.Meta)
+		}
+	}
+}
+
+// TestManifestCorruptOrMissingIsHarmless: a store must open identically
+// with no manifest, a garbage manifest, or a stale one — costs just
+// default to zero.
+func TestManifestCorruptOrMissingIsHarmless(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, fastOpts())
+	if err := s.PutCost("k", []byte("v"), 42); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// No manifest at all (SaveManifest never called).
+	s2 := mustOpen(t, dir, fastOpts())
+	if body, cost, ok := s2.GetWithCost("k"); !ok || string(body) != "v" || cost != 0 {
+		t.Fatalf("no manifest: ok=%v body=%q cost=%d, want hit with cost 0", ok, body, cost)
+	}
+	s2.Close()
+
+	// Garbage manifest.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.lsm"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, dir, fastOpts())
+	if body, cost, ok := s3.GetWithCost("k"); !ok || string(body) != "v" || cost != 0 {
+		t.Fatalf("garbage manifest: ok=%v body=%q cost=%d", ok, body, cost)
+	}
+	// A manifest entry whose size disagrees with the index must not seed
+	// its cost (it describes different bytes).
+	WriteManifest(OSFS{}, filepath.Join(dir, "manifest.lsm"), []ManifestEntry{
+		{Key: "k", CostNanos: 999, Size: 12345},
+	})
+	s3.Close()
+	s4 := mustOpen(t, dir, fastOpts())
+	if _, cost, ok := s4.GetWithCost("k"); !ok || cost != 0 {
+		t.Fatalf("size-mismatched manifest entry seeded cost %d", cost)
+	}
+}

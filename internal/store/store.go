@@ -142,12 +142,17 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// entryRef locates one indexed record on disk.
+// entryRef locates one indexed record on disk, carrying the entry's
+// measured reconstruction cost (compute nanoseconds) for cost-aware
+// eviction. Cost is metadata, not part of the durable record format: it
+// is supplied by PutCost, persisted advisorily in the cache manifest,
+// and defaults to zero for entries recovered without one.
 type entryRef struct {
 	seg     int
 	off     int64
 	keyLen  int
 	bodyLen int
+	cost    int64
 }
 
 // counts holds the store's atomic operation counters.
@@ -216,10 +221,11 @@ type Store struct {
 	clock Clock
 	brk   *breaker
 
-	mu       sync.Mutex // guards index, segIDs, segBytes, total
+	mu       sync.Mutex // guards index, segIDs, segBytes, segCost, total
 	index    map[string]entryRef
 	segIDs   []int // ascending; last is the active segment
 	segBytes map[int]int64
+	segCost  map[int]int64 // summed entry costs per segment (eviction ranking)
 	total    int64
 
 	wmu        sync.Mutex // serializes the append path
@@ -249,6 +255,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		brk:      newBreaker(o.BreakerThreshold, o.BreakerCooldown, o.Clock),
 		index:    make(map[string]entryRef),
 		segBytes: make(map[int]int64),
+		segCost:  make(map[int]int64),
 	}
 	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
@@ -303,8 +310,30 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("store: creating first segment: %w", err)
 		}
 	}
+	s.loadManifestCosts()
 	s.recovered = len(s.index)
 	return s, nil
+}
+
+// loadManifestCosts seeds recovered entries with the reconstruction
+// costs persisted in the cache manifest, best-effort: a missing,
+// truncated, or corrupt manifest only costs eviction precision (costless
+// entries rank cheapest and are evicted first), never correctness — the
+// segments themselves stay the single source of truth for bytes.
+func (s *Store) loadManifestCosts() {
+	entries, err := LoadManifest(s.fs, s.ManifestPath())
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		ref, ok := s.index[e.Key]
+		if !ok || int64(ref.bodyLen) != e.Size || e.CostNanos <= 0 {
+			continue
+		}
+		ref.cost = e.CostNanos
+		s.index[e.Key] = ref
+		s.segCost[ref.seg] += e.CostNanos
+	}
 }
 
 // segPath returns the path of segment id.
@@ -426,19 +455,28 @@ func (s *Store) timed(f func() error) error {
 // miss; corrupt or unreadable entries are additionally quarantined
 // (dropped from the index) so the caller's recompute can rewrite them.
 func (s *Store) Get(key string) ([]byte, bool) {
+	body, _, ok := s.GetWithCost(key)
+	return body, ok
+}
+
+// GetWithCost is Get plus the entry's recorded reconstruction cost in
+// compute nanoseconds (zero when none was recorded), so a caller
+// promoting the bytes into a higher cache tier can keep ranking them by
+// cost-per-byte there.
+func (s *Store) GetWithCost(key string) ([]byte, int64, bool) {
 	if s.closed.Load() {
-		return nil, false
+		return nil, 0, false
 	}
 	s.mu.Lock()
 	ref, ok := s.index[key]
 	s.mu.Unlock()
 	if !ok {
 		s.c.misses.Add(1)
-		return nil, false
+		return nil, 0, false
 	}
 	if !s.brk.allow() {
 		s.c.misses.Add(1)
-		return nil, false
+		return nil, 0, false
 	}
 	buf, err := s.readRecord(ref)
 	if err != nil {
@@ -446,17 +484,17 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		s.c.readErrors.Add(1)
 		s.c.misses.Add(1)
 		s.quarantine(key, ref)
-		return nil, false
+		return nil, 0, false
 	}
 	s.brk.success()
 	body, ok := verifyRecord(buf, key, ref)
 	if !ok {
 		s.c.misses.Add(1)
 		s.quarantine(key, ref)
-		return nil, false
+		return nil, 0, false
 	}
 	s.c.hits.Add(1)
-	return body, true
+	return body, ref.cost, true
 }
 
 // readRecord reads one full record with retry, backoff, and the per-op
@@ -504,29 +542,41 @@ func verifyRecord(buf []byte, key string, ref entryRef) ([]byte, bool) {
 }
 
 // quarantine drops an entry whose bytes can no longer be served, unless
-// the index has already moved on to a fresh record for the key.
+// the index has already moved on to a fresh record for the key. The
+// entry's cost leaves its segment's eviction ranking with it.
 func (s *Store) quarantine(key string, ref entryRef) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.index[key]; ok && cur == ref {
 		delete(s.index, key)
+		s.segCost[ref.seg] -= ref.cost
 		s.c.quarantined.Add(1)
 	}
 }
 
-// Put appends key/body durably. An already-stored key is a no-op (the
-// store is content-addressed: same key, same bytes). A failed or
-// timed-out append abandons the active segment — isolating any torn
-// tail at a segment end, where recovery truncates it — and retries into
-// a fresh segment; persistent failure feeds the circuit breaker and
-// drops the write (the store is a cache, not a log: the caller keeps
-// serving from memory).
+// Put appends key/body durably with no recorded reconstruction cost.
+// See PutCost for the append contract.
 func (s *Store) Put(key string, body []byte) error {
+	return s.PutCost(key, body, 0)
+}
+
+// PutCost appends key/body durably, recording the entry's measured
+// reconstruction cost (compute nanoseconds) for cost-aware eviction. An
+// already-stored key is a no-op (the store is content-addressed: same
+// key, same bytes). A failed or timed-out append abandons the active
+// segment — isolating any torn tail at a segment end, where recovery
+// truncates it — and retries into a fresh segment; persistent failure
+// feeds the circuit breaker and drops the write (the store is a cache,
+// not a log: the caller keeps serving from memory).
+func (s *Store) PutCost(key string, body []byte, costNanos int64) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
 	if len(key) == 0 || len(key) > maxKeyLen || len(body) > maxBodyLen {
 		return errTooLarge
+	}
+	if costNanos < 0 {
+		costNanos = 0
 	}
 	s.mu.Lock()
 	_, exists := s.index[key]
@@ -571,7 +621,7 @@ func (s *Store) Put(key string, body []byte) error {
 			s.activeSize += int64(len(rec))
 			s.brk.success()
 			s.c.writes.Add(1)
-			s.commit(key, entryRef{seg: seg, off: off, keyLen: len(key), bodyLen: len(body)}, int64(len(rec)))
+			s.commit(key, entryRef{seg: seg, off: off, keyLen: len(key), bodyLen: len(body), cost: costNanos}, int64(len(rec)))
 			return nil
 		}
 		// The segment may carry a torn tail now (and a timed-out write
@@ -606,29 +656,43 @@ func (s *Store) rotate() error {
 	s.mu.Lock()
 	s.segIDs = append(s.segIDs, id)
 	s.segBytes[id] = 0
+	s.segCost[id] = 0
 	s.mu.Unlock()
 	return nil
 }
 
 // commit indexes a durable record and enforces the byte budget by
-// evicting the oldest whole segments (never the active one).
+// evicting whole segments (never the active one), cheapest first:
+// the victim is the segment with the lowest cost-per-byte — summed
+// entry reconstruction cost over indexed bytes — so a segment full of
+// expensive-to-recompute results (a 1024-core figure) outlives a larger
+// one full of cheap cells, regardless of age. Equal densities (notably
+// the all-zero-cost case of a store fed only by Put) tie-break oldest
+// first, which preserves the previous pure-age behaviour exactly.
 func (s *Store) commit(key string, ref entryRef, recLen int64) {
 	var evict []int
 	s.mu.Lock()
 	s.index[key] = ref
 	s.segBytes[ref.seg] += recLen
+	s.segCost[ref.seg] += ref.cost
 	s.total += recLen
 	for s.total > s.opts.MaxBytes && len(s.segIDs) > 1 {
-		old := s.segIDs[0]
-		s.segIDs = s.segIDs[1:]
+		victim := s.cheapestSegmentLocked()
 		for k, r := range s.index {
-			if r.seg == old {
+			if r.seg == victim {
 				delete(s.index, k)
 			}
 		}
-		s.total -= s.segBytes[old]
-		delete(s.segBytes, old)
-		evict = append(evict, old)
+		s.total -= s.segBytes[victim]
+		delete(s.segBytes, victim)
+		delete(s.segCost, victim)
+		for i, id := range s.segIDs {
+			if id == victim {
+				s.segIDs = append(s.segIDs[:i], s.segIDs[i+1:]...)
+				break
+			}
+		}
+		evict = append(evict, victim)
 	}
 	s.mu.Unlock()
 	for _, id := range evict {
@@ -637,6 +701,71 @@ func (s *Store) commit(key string, ref entryRef, recLen int64) {
 		s.fs.Remove(s.segPath(id))
 		s.c.evicted.Add(1)
 	}
+}
+
+// cheapestSegmentLocked returns the non-active segment with the lowest
+// cost-per-byte (ties — notably all-zero costs — keep the oldest id).
+// Callers hold mu and guarantee at least two segments exist.
+func (s *Store) cheapestSegmentLocked() int {
+	candidates := s.segIDs[:len(s.segIDs)-1]
+	victim, best := candidates[0], segDensity(s.segCost[candidates[0]], s.segBytes[candidates[0]])
+	for _, id := range candidates[1:] {
+		if d := segDensity(s.segCost[id], s.segBytes[id]); d < best {
+			victim, best = id, d
+		}
+	}
+	return victim
+}
+
+// segDensity is the eviction-cost formula: summed entry reconstruction
+// cost over indexed bytes. An empty segment (abandoned by a failed
+// append) ranks cheapest of all — evicting it frees nothing but costs
+// nothing either.
+func segDensity(cost, bytes int64) float64 {
+	if bytes <= 0 {
+		return -1
+	}
+	return float64(cost) / float64(bytes)
+}
+
+// ManifestPath returns the path of the store's cache manifest file.
+func (s *Store) ManifestPath() string {
+	return filepath.Join(s.dir, "manifest.lsm")
+}
+
+// SaveManifest persists the cache manifest: one advisory record per
+// indexed entry (key, reconstruction cost, body size) plus the opaque
+// metadata metaOf yields for the key (nil metaOf, or a nil return,
+// writes an empty meta). The manifest seeds eviction costs at the next
+// Open and lets bench replay a realistic warm set; it is best-effort
+// and single-attempt — a failed save leaves recovery exact, just
+// costless — and it never feeds the circuit breaker.
+func (s *Store) SaveManifest(metaOf func(key string) []byte) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	entries := make([]ManifestEntry, 0, len(keys))
+	for _, k := range keys {
+		ref := s.index[k]
+		entries = append(entries, ManifestEntry{
+			Key:       k,
+			CostNanos: ref.cost,
+			Size:      int64(ref.bodyLen),
+		})
+	}
+	s.mu.Unlock()
+	if metaOf != nil {
+		for i := range entries {
+			entries[i].Meta = metaOf(entries[i].Key)
+		}
+	}
+	return WriteManifest(s.fs, s.ManifestPath(), entries)
 }
 
 // Len returns the current indexed entry count.
