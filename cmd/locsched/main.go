@@ -16,11 +16,14 @@
 //	fig7xl   large-scale concurrent mixes on 32–1024-core machines
 //	sweepxl  dense cache-size × associativity × miss-penalty grid
 //	affinity ARR window × quantum-batch ablation grid against RRS
+//	topo     machine-model ablation: speed mix × topology × hop penalty
+//	         against the homogeneous baseline
 //
-// The XL and affinity commands go beyond the paper (which stops at 8
-// cores and four policies): they are the evaluations the compiled-trace
-// engines and the blocked scheduling analysis were built to afford, and
-// are deliberately not part of `all`.
+// The XL, affinity, and topo commands go beyond the paper (which stops
+// at 8 homogeneous cores and four policies): they are the evaluations
+// the compiled-trace engines, the blocked scheduling analysis, and the
+// heterogeneous machine model were built to afford, and are deliberately
+// not part of `all`.
 //
 // Two serving subcommands take their own flags after the command word
 // (unlike the figure commands above):
@@ -66,6 +69,14 @@
 //	-xlsizes S     sweepxl cache sizes in KB (default "4,8,16,32")
 //	-xlassoc S     sweepxl associativities (default "1,2,4,8")
 //	-xlmiss S      sweepxl miss penalties in cycles (default "25,75,150,300")
+//	-speeds S      per-core speed-class mix, comma-separated cycle multipliers
+//	               cycled across cores ("" = uniform speed 1)
+//	-topo S        interconnect topology: bus (default), mesh, or ring
+//	-hop N         extra miss cycles per interconnect hop (default 0)
+//	-tspeeds S     topo-grid speed mixes, semicolon-separated specs
+//	               (default "1;1,4" — specs themselves contain commas)
+//	-ttopos S      topo-grid topologies (default "bus,mesh")
+//	-thops S       topo-grid hop penalties in cycles (default "0,16")
 //
 // Every flag is validated at parse time: negative scales, core counts,
 // worker pools, affinity settings (beyond the -1 "use the default"
@@ -105,6 +116,7 @@ type cliOptions struct {
 	xlMiss    []int64
 	aWindows  []int
 	aBatches  []int
+	topoGrid  locsched.TopoGrid
 }
 
 // run is the testable entry point: it parses and validates flags, then
@@ -146,6 +158,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	xlSizes := fs.String("xlsizes", "4,8,16,32", "sweepxl cache sizes in KB, comma-separated")
 	xlAssoc := fs.String("xlassoc", "1,2,4,8", "sweepxl associativities, comma-separated")
 	xlMiss := fs.String("xlmiss", "25,75,150,300", "sweepxl miss penalties in cycles, comma-separated")
+	speeds := fs.String("speeds", "", "per-core speed-class mix, comma-separated cycle multipliers cycled across cores (\"\" = uniform)")
+	topo := fs.String("topo", "", "interconnect topology: bus (default), mesh, or ring")
+	hop := fs.Int64("hop", 0, "extra miss cycles per interconnect hop")
+	tSpeeds := fs.String("tspeeds", "1;1,4", "topo-grid speed mixes, semicolon-separated specs")
+	tTopos := fs.String("ttopos", "bus,mesh", "topo-grid topologies, comma-separated")
+	tHops := fs.String("thops", "0,16", "topo-grid hop penalties in cycles, comma-separated")
 	fs.Usage = func() { usage(fs, stderr) }
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -194,6 +212,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *xlMax < 0 {
 		return usageErr(fmt.Errorf("-xlmax %d: must be non-negative (0 = use -xlpoints)", *xlMax))
 	}
+	if *hop < 0 {
+		return usageErr(fmt.Errorf("-hop %d: must be non-negative", *hop))
+	}
+	if _, spErr := locsched.ParseSpeedClasses(*speeds); spErr != nil {
+		return usageErr(fmt.Errorf("-speeds: %w", spErr))
+	}
+	machTopo, topoErr := locsched.ParseTopology(*topo)
+	if topoErr != nil {
+		return usageErr(fmt.Errorf("-topo: %w", topoErr))
+	}
 
 	opts := cliOptions{missrates: *missrates, jsonOut: *jsonOut}
 	opts.cfg = locsched.DefaultConfig()
@@ -222,6 +250,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.cfg.AffinityDecay = *adecay
 	}
 	opts.cfg.Machine.FlatStreams = *flat
+	opts.cfg.Machine.Machine = locsched.Machine{
+		SpeedClasses: *speeds,
+		Topology:     machTopo,
+		HopPenalty:   *hop,
+	}
 
 	if *extended {
 		opts.policies = locsched.ExtendedPolicies()
@@ -269,6 +302,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if opts.aBatches, err = parseIntList(*aBatches, 0); err != nil {
 		return usageErr(fmt.Errorf("-abatches: %w", err))
 	}
+	// The topo grid's speed specs contain commas, so the spec list is
+	// semicolon-separated; each spec and topology name is validated here.
+	for _, part := range strings.Split(*tSpeeds, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if _, err = locsched.ParseSpeedClasses(part); err != nil {
+			return usageErr(fmt.Errorf("-tspeeds: %w", err))
+		}
+		opts.topoGrid.Speeds = append(opts.topoGrid.Speeds, part)
+	}
+	if len(opts.topoGrid.Speeds) == 0 {
+		return usageErr(fmt.Errorf("-tspeeds: empty list"))
+	}
+	for _, part := range strings.Split(*tTopos, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tp, err := locsched.ParseTopology(part)
+		if err != nil {
+			return usageErr(fmt.Errorf("-ttopos: %w", err))
+		}
+		opts.topoGrid.Topos = append(opts.topoGrid.Topos, tp)
+	}
+	if len(opts.topoGrid.Topos) == 0 {
+		return usageErr(fmt.Errorf("-ttopos: empty list"))
+	}
+	if opts.topoGrid.Hops, err = parseInt64List(*tHops, 0); err != nil {
+		return usageErr(fmt.Errorf("-thops: %w", err))
+	}
 
 	cmd := fs.Arg(0)
 	if !knownCommand(cmd) {
@@ -285,7 +350,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // knownCommand reports whether cmd names a locsched subcommand.
 func knownCommand(cmd string) bool {
 	switch cmd {
-	case "table1", "table2", "fig6", "fig7", "fig7xl", "sweepxl", "affinity", "sweep", "ablate", "all":
+	case "table1", "table2", "fig6", "fig7", "fig7xl", "sweepxl", "affinity", "topo", "sweep", "ablate", "all":
 		return true
 	}
 	return false
@@ -339,6 +404,12 @@ func dispatch(cmd string, opts cliOptions, stdout io.Writer) error {
 		fmt.Fprintln(stdout, locsched.FormatSweep(s))
 	case "affinity":
 		s, err := locsched.AblationAffinity(cfg, opts.aWindows, opts.aBatches)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, locsched.FormatSweep(s))
+	case "topo":
+		s, err := locsched.AblationTopo(cfg, opts.topoGrid, nil)
 		if err != nil {
 			return err
 		}
@@ -593,7 +664,7 @@ func usage(fs *flag.FlagSet, stderr io.Writer) {
        locsched serve [flags]
        locsched bench -serve URL [flags]
 
-commands: table1 table2 fig6 fig7 sweep ablate all fig7xl sweepxl affinity
+commands: table1 table2 fig6 fig7 sweep ablate all fig7xl sweepxl affinity topo
 
 flags:
 `)

@@ -34,6 +34,14 @@ func TestFlagValidation(t *testing.T) {
 		{"negative awindow", []string{"-awindows", "-1,4", "affinity"}, "-awindows"},
 		{"negative abatch", []string{"-abatches", "-4", "affinity"}, "-abatches"},
 		{"unknown policy", []string{"-policy", "bogus", "fig6"}, "unknown policy"},
+		{"negative hop", []string{"-hop", "-4", "fig6"}, "-hop"},
+		{"bad speeds", []string{"-speeds", "1,zero", "fig6"}, "-speeds"},
+		{"zero speed class", []string{"-speeds", "0,2", "fig6"}, "-speeds"},
+		{"bad topo", []string{"-topo", "torus", "fig6"}, "-topo"},
+		{"bad tspeeds", []string{"-tspeeds", "1;x", "topo"}, "-tspeeds"},
+		{"empty tspeeds", []string{"-tspeeds", ";", "topo"}, "-tspeeds"},
+		{"bad ttopos", []string{"-ttopos", "bus,hypercube", "topo"}, "-ttopos"},
+		{"negative thops", []string{"-thops", "0,-16", "topo"}, "-thops"},
 		{"unknown command", []string{"frobnicate"}, "usage:"},
 		{"missing command", nil, "usage:"},
 		{"two commands", []string{"fig6", "fig7"}, "usage:"},
@@ -89,6 +97,22 @@ func TestXLMaxLadder(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-xlmax", "512", "table2"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-xlmax 512 rejected: %s", stderr.String())
+	}
+}
+
+// TestTopoCommand: the machine-model ablation end to end on the
+// smallest possible grid (one heterogeneous mesh cell beyond the
+// baseline) at minimum scale, so the command stays cheap in CI.
+func TestTopoCommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-scale", "1", "-tspeeds", "1,2", "-ttopos", "mesh", "-thops", "8", "topo"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("topo failed (%d): %s", code, stderr.String())
+	}
+	for _, want := range []string{"uniform/bus", "1,2/mesh/h8", "RRS=", "LSM="} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("topo output missing %q:\n%s", want, stdout.String())
+		}
 	}
 }
 

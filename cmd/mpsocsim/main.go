@@ -8,12 +8,25 @@
 //	mpsocsim -app Med-Im04 -policy LSM [-scale 2] [-cores 8] [-mix 3]
 //
 // With -mix N the first N applications of Table 1 run concurrently
-// (the paper's Figure 7 setting) and -app is ignored.
+// (the paper's Figure 7 setting) and -app is ignored. With -spec FILE a
+// JSON task-set file overrides both -app and -mix.
+//
+// The machine model can be made heterogeneous with the same flags the
+// locsched harness takes: -speeds assigns per-core speed classes (cycled
+// across cores), -topo selects the interconnect (bus, mesh, or ring),
+// and -hop charges extra miss cycles per interconnect hop. The machine
+// banner echoes all three so a run's cost model is always visible in its
+// output.
+//
+// Every flag is validated at parse time; bad values fail with a usage
+// error (exit code 2) before any simulation starts. Runtime failures
+// (unreadable spec files, simulation errors) exit 1.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -21,15 +34,78 @@ import (
 )
 
 func main() {
-	appName := flag.String("app", "Med-Im04", "application (Table 1 name)")
-	policy := flag.String("policy", "LS", "policy: RS RRS LS LSM SJF CPL")
-	scale := flag.Int("scale", 0, "workload scale factor (0 = default)")
-	cores := flag.Int("cores", 0, "number of cores (0 = default 8)")
-	mix := flag.Int("mix", 0, "run the first N applications concurrently")
-	quantum := flag.Int64("quantum", 0, "RRS quantum in cycles (0 = default)")
-	timeline := flag.Bool("timeline", false, "print a per-core execution timeline")
-	specFile := flag.String("spec", "", "JSON task-set file (overrides -app/-mix)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses and validates flags, then
+// builds the workload and runs the single simulation. Exit codes:
+// 0 success, 1 runtime failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpsocsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	appName := fs.String("app", "Med-Im04", "application (Table 1 name)")
+	policy := fs.String("policy", "LS", "policy: RS RRS LS LSM ARR SJF CPL")
+	scale := fs.Int("scale", 0, "workload scale factor (0 = default)")
+	cores := fs.Int("cores", 0, "number of cores (0 = default 8)")
+	mix := fs.Int("mix", 0, "run the first N applications concurrently")
+	quantum := fs.Int64("quantum", 0, "RRS quantum in cycles (0 = default)")
+	timeline := fs.Bool("timeline", false, "print a per-core execution timeline")
+	specFile := fs.String("spec", "", "JSON task-set file (overrides -app/-mix)")
+	speeds := fs.String("speeds", "", "per-core speed-class mix, comma-separated cycle multipliers cycled across cores (\"\" = uniform)")
+	topo := fs.String("topo", "", "interconnect topology: bus (default), mesh, or ring")
+	hop := fs.Int64("hop", 0, "extra miss cycles per interconnect hop")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0 // -h/-help: usage on request is not an error
+		}
+		return 2
+	}
+
+	usageErr := func(err error) int {
+		fmt.Fprintln(stderr, "mpsocsim:", err)
+		fmt.Fprintln(stderr, "run 'mpsocsim -h' for usage")
+		return 2
+	}
+
+	if fs.NArg() != 0 {
+		return usageErr(fmt.Errorf("unexpected arguments: %v", fs.Args()))
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"-scale", int64(*scale)},
+		{"-cores", int64(*cores)},
+		{"-mix", int64(*mix)},
+		{"-quantum", *quantum},
+	} {
+		if c.v < 0 {
+			return usageErr(fmt.Errorf("%s %d: must be non-negative (0 = default)", c.name, c.v))
+		}
+	}
+	if *hop < 0 {
+		return usageErr(fmt.Errorf("-hop %d: must be non-negative", *hop))
+	}
+	if _, err := locsched.ParseSpeedClasses(*speeds); err != nil {
+		return usageErr(fmt.Errorf("-speeds: %w", err))
+	}
+	machTopo, err := locsched.ParseTopology(*topo)
+	if err != nil {
+		return usageErr(fmt.Errorf("-topo: %w", err))
+	}
+
+	pol := locsched.Policy(strings.ToUpper(*policy))
+	valid := false
+	for _, p := range locsched.ExtendedPolicies() {
+		if p == pol {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return usageErr(fmt.Errorf("unknown policy %q (want one of %v)",
+			*policy, locsched.ExtendedPolicies()))
+	}
 
 	cfg := locsched.DefaultConfig()
 	cfg.Machine.RecordTimeline = *timeline
@@ -42,79 +118,81 @@ func main() {
 	if *quantum > 0 {
 		cfg.Quantum = *quantum
 	}
-
-	pol := locsched.Policy(strings.ToUpper(*policy))
-	valid := false
-	for _, p := range locsched.ExtendedPolicies() {
-		if p == pol {
-			valid = true
-			break
-		}
-	}
-	if !valid {
-		fmt.Fprintf(os.Stderr, "mpsocsim: unknown policy %q (want one of %v)\n",
-			*policy, locsched.ExtendedPolicies())
-		os.Exit(2)
+	cfg.Machine.Machine = locsched.Machine{
+		SpeedClasses: *speeds,
+		Topology:     machTopo,
+		HopPenalty:   *hop,
 	}
 
 	var res *locsched.RunResult
-	var err error
 	var label string
-	if *specFile != "" {
+	switch {
+	case *specFile != "":
 		f, oerr := os.Open(*specFile)
 		if oerr != nil {
-			fatal(oerr)
+			return fatal(stderr, oerr)
 		}
 		apps, lerr := locsched.LoadApps(f)
 		f.Close()
 		if lerr != nil {
-			fatal(lerr)
+			return fatal(stderr, lerr)
 		}
 		label = fmt.Sprintf("%d user-defined tasks from %s", len(apps), *specFile)
 		res, err = locsched.RunConcurrent(apps, pol, cfg)
-	} else if *mix > 0 {
+	case *mix > 0:
 		apps, berr := locsched.BuildApps(cfg.Workload)
 		if berr != nil {
-			fatal(berr)
+			return fatal(stderr, berr)
 		}
-		if *mix > len(apps) {
-			*mix = len(apps)
+		n := *mix
+		if n > len(apps) {
+			n = len(apps)
 		}
-		label = fmt.Sprintf("%d concurrent applications", *mix)
-		res, err = locsched.RunConcurrent(apps[:*mix], pol, cfg)
-	} else {
+		label = fmt.Sprintf("%d concurrent applications", n)
+		res, err = locsched.RunConcurrent(apps[:n], pol, cfg)
+	default:
 		app, berr := locsched.BuildApp(*appName, 0, cfg.Workload)
 		if berr != nil {
-			fatal(berr)
+			return fatal(stderr, berr)
 		}
 		label = fmt.Sprintf("%s (%s, %d processes)", app.Name, app.Desc, app.Procs())
 		res, err = locsched.Run(app, pol, cfg)
 	}
 	if err != nil {
-		fatal(err)
+		return fatal(stderr, err)
 	}
 
-	fmt.Printf("workload:        %s\n", label)
-	fmt.Printf("policy:          %s\n", res.Policy)
-	fmt.Printf("machine:         %d cores, %s L1, %d/%d cycle hit/miss, %d MHz\n",
+	speedsLabel := cfg.Machine.Machine.SpeedClasses
+	if speedsLabel == "" {
+		speedsLabel = "uniform"
+	}
+	fmt.Fprintf(stdout, "workload:        %s\n", label)
+	fmt.Fprintf(stdout, "policy:          %s\n", res.Policy)
+	fmt.Fprintf(stdout, "machine:         %d cores, %s L1, %d/%d cycle hit/miss, %d MHz\n",
 		cfg.Machine.Cores, cfg.Machine.Cache, cfg.Machine.HitLatency,
 		cfg.Machine.MissPenalty, cfg.Machine.ClockMHz)
-	fmt.Printf("makespan:        %d cycles = %.3f ms\n", res.Cycles, res.Seconds*1e3)
+	fmt.Fprintf(stdout, "speed classes:   %s\n", speedsLabel)
+	fmt.Fprintf(stdout, "interconnect:    %s, %d cycles/hop\n",
+		cfg.Machine.Machine.Topology, cfg.Machine.Machine.HopPenalty)
+	fmt.Fprintf(stdout, "makespan:        %d cycles = %.3f ms\n", res.Cycles, res.Seconds*1e3)
 	total := res.Hits + res.Misses
-	fmt.Printf("accesses:        %d (%d hits, %d misses, %.1f%% miss rate)\n",
+	fmt.Fprintf(stdout, "accesses:        %d (%d hits, %d misses, %.1f%% miss rate)\n",
 		total, res.Hits, res.Misses, res.MissRate()*100)
-	fmt.Printf("conflict misses: %d\n", res.Conflicts)
-	fmt.Printf("preemptions:     %d\n", res.Preemptions)
+	fmt.Fprintf(stdout, "conflict misses: %d\n", res.Conflicts)
+	fmt.Fprintf(stdout, "preemptions:     %d\n", res.Preemptions)
 	if res.Relaid > 0 {
-		fmt.Printf("re-laid arrays:  %d (data-mapping phase)\n", res.Relaid)
+		fmt.Fprintf(stdout, "re-laid arrays:  %d (data-mapping phase)\n", res.Relaid)
 	}
 	if *timeline {
-		fmt.Println()
-		fmt.Print(res.TimelineText)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, res.TimelineText)
 	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mpsocsim:", err)
-	os.Exit(1)
+// fatal reports a runtime (post-validation) failure on stderr and
+// returns the conventional exit code 1.
+func fatal(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "mpsocsim:", err)
+	return 1
 }

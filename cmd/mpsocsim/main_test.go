@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation is the usage-error table: every nonsensical flag
+// value must fail at parse time with exit code 2 and a message naming
+// the flag, before any simulation starts.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring of stderr
+	}{
+		{"negative scale", []string{"-scale", "-1"}, "-scale"},
+		{"negative cores", []string{"-cores", "-8"}, "-cores"},
+		{"negative mix", []string{"-mix", "-3"}, "-mix"},
+		{"negative quantum", []string{"-quantum", "-2048"}, "-quantum"},
+		{"negative hop", []string{"-hop", "-4"}, "-hop"},
+		{"bad speeds", []string{"-speeds", "1,fast"}, "-speeds"},
+		{"zero speed class", []string{"-speeds", "0,2"}, "-speeds"},
+		{"bad topo", []string{"-topo", "torus"}, "-topo"},
+		{"unknown policy", []string{"-policy", "bogus"}, "unknown policy"},
+		{"stray argument", []string{"extra"}, "unexpected arguments"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(c.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("run(%q) = %d, want usage error (2); stderr: %s", c.args, code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), c.wantErr) {
+				t.Errorf("stderr %q does not mention %q", stderr.String(), c.wantErr)
+			}
+			if stdout.Len() != 0 {
+				t.Errorf("usage error still produced output: %q", stdout.String())
+			}
+		})
+	}
+}
+
+// TestMissingSpecFile: a runtime failure (not a usage error) must exit 1.
+func TestMissingSpecFile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-spec", "/nonexistent/tasks.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run with missing spec = %d, want 1; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestSingleAppRun pins the output shape of a default homogeneous run:
+// the banner must carry the workload, policy, machine, and the new
+// speed-class and interconnect lines.
+func TestSingleAppRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-app", "MxM", "-policy", "LS"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run failed (%d): %s", code, stderr.String())
+	}
+	for _, want := range []string{
+		"workload:", "MxM", "policy:          LS",
+		"machine:", "speed classes:   uniform", "interconnect:    bus, 0 cycles/hop",
+		"makespan:", "accesses:", "conflict misses:", "preemptions:",
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestHeterogeneousBanner: -speeds/-topo/-hop must be echoed in the
+// machine banner and the run must still complete.
+func TestHeterogeneousBanner(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-app", "MxM", "-policy", "LSM", "-speeds", "1,4", "-topo", "mesh", "-hop", "16"}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("heterogeneous run failed (%d): %s", code, stderr.String())
+	}
+	for _, want := range []string{"speed classes:   1,4", "interconnect:    mesh, 16 cycles/hop"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, stdout.String())
+		}
+	}
+}

@@ -14,7 +14,9 @@ import (
 // the gate stays cheap and additions are a reviewed decision.
 var godocGatedFiles = []string{
 	"internal/cache/runs.go",
+	"internal/mpsoc/machine.go",
 	"internal/mpsoc/parallel_engine.go",
+	"internal/experiment/topo.go",
 	"internal/trace/rle.go",
 	"internal/experiment/runnerpool.go",
 	"internal/experiment/fingerprint.go",

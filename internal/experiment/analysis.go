@@ -6,6 +6,7 @@ import (
 
 	"locsched/internal/cache"
 	"locsched/internal/layout"
+	"locsched/internal/mpsoc"
 	"locsched/internal/sched"
 	"locsched/internal/sharing"
 	"locsched/internal/taskgraph"
@@ -134,11 +135,18 @@ func cachedMatrix(g *taskgraph.Graph, gk string, workers int) (*sharing.Matrix, 
 }
 
 // cachedLS returns the (possibly memoized) LS assignment for g on the
-// given core count.
-func cachedLS(g *taskgraph.Graph, cores, workers int) (*sched.Assignment, error) {
+// given core count. biasKey/bias carry the machine-model placement hook
+// (see machineBias): the key is folded into the cache key so biased and
+// unbiased schedules of one graph never collide, and ("", nil) — the
+// homogeneous machine — leaves both the key and the schedule exactly as
+// they were before the hook existed.
+func cachedLS(g *taskgraph.Graph, cores, workers int, biasKey string, bias sched.CoreBias) (*sched.Assignment, error) {
 	g.Freeze()
 	gk := g.Fingerprint()
 	key := fmt.Sprintf("%s|cores=%d", gk, cores)
+	if biasKey != "" {
+		key += "|bias=" + biasKey
+	}
 	analysisCache.Lock()
 	e, ok := analysisCache.ls[key]
 	if ok {
@@ -154,7 +162,7 @@ func cachedLS(g *taskgraph.Graph, cores, workers int) (*sched.Assignment, error)
 	if err != nil {
 		return nil, err
 	}
-	asg, err := sched.LocalitySchedule(g, m, cores)
+	asg, err := sched.LocalityScheduleBiased(g, m, cores, bias)
 	if err != nil {
 		return nil, err
 	}
@@ -187,10 +195,13 @@ func lsmKey(gk string, cores int, base layout.AddressMap, geom cache.Geometry) s
 // NewLSM, so LS+LSM figure columns on the same (graph, cores) run
 // LocalitySchedule (and the sharing matrix behind it) exactly once,
 // whichever policy's cell lands first.
-func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache.Geometry, workers int) (*sched.MappingResult, error) {
+func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache.Geometry, workers int, biasKey string, bias sched.CoreBias) (*sched.MappingResult, error) {
 	g.Freeze()
 	gk := g.Fingerprint()
 	key := lsmKey(gk, cores, base, geom)
+	if biasKey != "" {
+		key += "|bias=" + biasKey
+	}
 	analysisCache.Lock()
 	e, ok := analysisCache.lsm[key]
 	ok = ok && e.g == g && e.base == base
@@ -203,7 +214,7 @@ func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache
 	if ok {
 		return e.mapping, nil
 	}
-	asg, err := cachedLS(g, cores, workers)
+	asg, err := cachedLS(g, cores, workers, biasKey, bias)
 	if err != nil {
 		return nil, err
 	}
@@ -216,4 +227,25 @@ func cachedLSM(g *taskgraph.Graph, cores int, base layout.AddressMap, geom cache
 	analysisCache.lsm[key] = &lsmEntry{g: g, base: base, mapping: mapping}
 	analysisCache.Unlock()
 	return mapping, nil
+}
+
+// machineBias derives the scheduling layer's placement hook from the
+// machine model. On a homogeneous machine it returns ("", nil), which
+// leaves every cache key and schedule byte-identical to the pre-Machine
+// code; otherwise it returns a closure over the per-core placement-cost
+// table (mpsoc.Config.CoreCostTable — effective hit latency plus base
+// miss penalty, lower is better) and a key naming everything the table
+// depends on, for folding into the analysis-cache keys.
+func machineBias(cfg mpsoc.Config) (string, sched.CoreBias, error) {
+	if cfg.Machine.Homogeneous() {
+		return "", nil, nil
+	}
+	costs, err := cfg.CoreCostTable()
+	if err != nil {
+		return "", nil, err
+	}
+	key := fmt.Sprintf("speeds=%s,topo=%s,hop=%d,lat=%d.%d,cores=%d",
+		cfg.Machine.SpeedClasses, cfg.Machine.Topology, cfg.Machine.HopPenalty,
+		cfg.HitLatency, cfg.MissPenalty, cfg.Cores)
+	return key, func(core int) int64 { return costs[core] }, nil
 }

@@ -200,10 +200,10 @@ func TestAnalysisCacheCoherentEviction(t *testing.T) {
 	geom := mpsoc.DefaultConfig().Cache
 
 	// app1 fills the budget: matrix + ls + lsm = 3 entries.
-	if _, err := cachedLS(app1.Graph, 4, 1); err != nil {
+	if _, err := cachedLS(app1.Graph, 4, 1, "", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cachedLSM(app1.Graph, 4, base1, geom, 1); err != nil {
+	if _, err := cachedLSM(app1.Graph, 4, base1, geom, 1, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	sizes := func() (m, ls, lsm int) {
@@ -217,7 +217,7 @@ func TestAnalysisCacheCoherentEviction(t *testing.T) {
 
 	// app2's matrix insert overflows the budget: every tier must clear
 	// together before the insert, leaving exactly app2's fresh entries.
-	if _, err := cachedLS(app2.Graph, 4, 1); err != nil {
+	if _, err := cachedLS(app2.Graph, 4, 1, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	if m, ls, lsm := sizes(); m != 1 || ls != 1 || lsm != 0 {
@@ -230,7 +230,7 @@ func TestAnalysisCacheCoherentEviction(t *testing.T) {
 	// with an empty cache, not a half-evicted one. (Hits before this
 	// point are legitimate — cachedLSM reuses app1's LS assignment.)
 	before := analysisStatsSnapshot()
-	if _, err := cachedLS(app1.Graph, 4, 1); err != nil {
+	if _, err := cachedLS(app1.Graph, 4, 1, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	st := analysisStatsSnapshot()

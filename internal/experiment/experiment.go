@@ -188,6 +188,13 @@ func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Poli
 		return nil, err
 	}
 	am := layout.AddressMap(base)
+	// The machine-model placement hook: nil on homogeneous machines (every
+	// policy then schedules exactly as before the Machine axis existed),
+	// a per-core cost ranking on heterogeneous ones.
+	biasKey, bias, err := machineBias(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
 	var disp mpsoc.Dispatcher
 	relaid := 0
 
@@ -210,6 +217,7 @@ func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Poli
 		if err != nil {
 			return nil, err
 		}
+		d.SetCoreBias(cfg.Machine.Cores, bias)
 		disp = d
 	case SJF:
 		d, err := sched.NewSJF(g)
@@ -224,13 +232,13 @@ func RunGraph(name string, g *taskgraph.Graph, arrays []*prog.Array, policy Poli
 		}
 		disp = d
 	case LS:
-		asg, err := cachedLS(g, cfg.Machine.Cores, cfg.Workers)
+		asg, err := cachedLS(g, cfg.Machine.Cores, cfg.Workers, biasKey, bias)
 		if err != nil {
 			return nil, err
 		}
 		disp = sched.NewStatic("LS", asg)
 	case LSM:
-		mapping, err := cachedLSM(g, cfg.Machine.Cores, base, cfg.Machine.Cache, cfg.Workers)
+		mapping, err := cachedLSM(g, cfg.Machine.Cores, base, cfg.Machine.Cache, cfg.Workers, biasKey, bias)
 		if err != nil {
 			return nil, err
 		}

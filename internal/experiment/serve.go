@@ -42,7 +42,8 @@ func ContentKey(g *taskgraph.Graph, arrays []*prog.Array, align int64) (string, 
 // ConfigDigest returns a canonical digest of everything in a Config that
 // can change a simulation's observable result: the machine (cores, cache
 // geometry, latencies, replacement, indexing, write policy, bus model,
-// engine selection), the policy parameters (quantum, seed, affinity
+// engine selection, plus the heterogeneity extension — speed classes,
+// topology, hop penalty), the policy parameters (quantum, seed, affinity
 // family), and the layout alignment. Workers, SimWorkers, and
 // RecordTimeline are deliberately excluded: they change how fast a
 // result is computed and what side channels are captured, never the
@@ -56,6 +57,8 @@ func ConfigDigest(cfg Config) string {
 		m.Cores, m.Cache.Size, m.Cache.BlockSize, m.Cache.Assoc,
 		m.Replacement, m.Indexing, m.Classify, m.HitLatency, m.MissPenalty,
 		m.ClockMHz, m.Seed, m.BusFactor, m.WritePolicy, m.WritebackPenalty, m.FlatStreams)
+	fmt.Fprintf(h, "|speeds=%s|topo=%d|hop=%d",
+		m.Machine.SpeedClasses, m.Machine.Topology, m.Machine.HopPenalty)
 	fmt.Fprintf(h, "|q=%d|seed=%d|align=%d|aff=%d,%d,%d|scale=%d",
 		cfg.Quantum, cfg.Seed, cfg.Align, cfg.Affinity, cfg.QBatch, cfg.AffinityDecay,
 		cfg.Workload.Scale)
@@ -80,7 +83,9 @@ func AnalyzeLS(g *taskgraph.Graph, arrays []*prog.Array, cores, workers int) (*s
 		return nil, fmt.Errorf("experiment: cores %d must be positive", cores)
 	}
 	g, _ = internWorkload(g, arrays)
-	return cachedLS(g, cores, workers)
+	// The analysis endpoint has no machine spec, so the schedule is the
+	// homogeneous (unbiased) one.
+	return cachedLS(g, cores, workers, "", nil)
 }
 
 // CacheStats is a point-in-time snapshot of every content-addressed

@@ -1,0 +1,92 @@
+package experiment
+
+import (
+	"fmt"
+
+	"locsched/internal/mpsoc"
+)
+
+// TopoGrid parameterizes the machine-model ablation: the cross product
+// of speed-class mixes, interconnect topologies, and per-hop miss
+// penalties that AblationTopo sweeps against the homogeneous baseline.
+type TopoGrid struct {
+	// Speeds lists the speed-class specs to sweep (see
+	// mpsoc.Machine.SpeedClasses), e.g. "1" and "1,4".
+	Speeds []string
+	// Topos lists the interconnect topologies to sweep.
+	Topos []mpsoc.Topology
+	// Hops lists the per-hop miss-penalty terms, in cycles.
+	Hops []int64
+}
+
+// DefaultTopoGrid is the ablation's default: a uniform mix and a 4×-slow
+// big.LITTLE mix, bus vs mesh, and no hop cost vs a hop cost chosen so a
+// far mesh corner roughly doubles the paper's 75-cycle miss penalty.
+func DefaultTopoGrid() TopoGrid {
+	return TopoGrid{
+		Speeds: []string{"1", "1,4"},
+		Topos:  []mpsoc.Topology{mpsoc.TopoBus, mpsoc.TopoMesh},
+		Hops:   []int64{0, 16},
+	}
+}
+
+// AblationTopo sweeps the machine-model axis over the full concurrent
+// mix: point 0 is the homogeneous baseline (the paper's machine — a
+// zero-value mpsoc.Machine, which the differential suites pin
+// bit-identical to the pre-Machine engines), followed by every
+// behaviourally distinct cell of the grid. Cells that degenerate to the
+// baseline are skipped rather than re-run: a uniform-speed bus machine
+// is the baseline, and on a bus the hop penalty never contributes, so
+// bus cells are deduplicated across hop values. Each point reports the
+// usual policy set, so the rendered sweep shows how much distance-aware
+// LS/LSM placement and bias-aware ARR wakes recover versus RRS as the
+// machine grows less uniform.
+func AblationTopo(cfg Config, grid TopoGrid, policies []Policy) (*Sweep, error) {
+	if len(policies) == 0 {
+		policies = []Policy{RRS, ARR, LS, LSM}
+	}
+	if len(grid.Speeds) == 0 || len(grid.Topos) == 0 || len(grid.Hops) == 0 {
+		return nil, fmt.Errorf("experiment: topo grid needs at least one speed mix, topology, and hop penalty")
+	}
+
+	base := cfg
+	base.Machine.Machine = mpsoc.Machine{}
+	cfgs := []Config{base}
+	labels := []string{"uniform/bus"}
+
+	seen := map[mpsoc.Machine]bool{{}: true}
+	for _, sp := range grid.Speeds {
+		for _, topo := range grid.Topos {
+			for _, hop := range grid.Hops {
+				m := mpsoc.Machine{SpeedClasses: sp, Topology: topo, HopPenalty: hop}
+				if err := m.Validate(); err != nil {
+					return nil, err
+				}
+				// Canonicalize behaviourally equal cells: a bus machine
+				// never pays the hop term, a zero hop penalty makes the
+				// topology irrelevant, and a homogeneous cell is the
+				// baseline already at point 0.
+				canon := m
+				if canon.Topology == mpsoc.TopoBus {
+					canon.HopPenalty = 0
+				}
+				if canon.HopPenalty == 0 {
+					canon.Topology = mpsoc.TopoBus
+				}
+				if canon.Homogeneous() {
+					canon = mpsoc.Machine{}
+				}
+				if seen[canon] {
+					continue
+				}
+				seen[canon] = true
+				c := cfg
+				c.Machine.Machine = canon
+				cfgs = append(cfgs, c)
+				labels = append(labels, fmt.Sprintf("%s/%s/h%d",
+					canon.SpeedClasses, canon.Topology, canon.HopPenalty))
+			}
+		}
+	}
+	return sweepMix("machine-model ablation (speed mix × topology × hop penalty)", cfgs, labels, policies)
+}

@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"testing"
+
+	"locsched/internal/mpsoc"
+	"locsched/internal/workload"
+)
+
+// topoTestConfig returns a minimum-scale config so ablation cells stay
+// cheap.
+func topoTestConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Workload.Scale = 1
+	return cfg
+}
+
+// TestAblationTopoDedup pins the grid canonicalization: the default grid
+// is 2×2×2 = 8 cells, but bus cells collapse across hop values, zero-hop
+// cells collapse across topologies, and homogeneous cells collapse into
+// the baseline — leaving the baseline plus three distinct machines.
+func TestAblationTopoDedup(t *testing.T) {
+	s, err := AblationTopo(topoTestConfig(), DefaultTopoGrid(), []Policy{RRS, LS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"uniform/bus", "1/mesh/h16", "1,4/bus/h0", "1,4/mesh/h16"}
+	if len(s.Points) != len(want) {
+		t.Fatalf("got %d points, want %d", len(s.Points), len(want))
+	}
+	for i, label := range want {
+		if s.Points[i].Label != label {
+			t.Errorf("point %d label = %q, want %q", i, s.Points[i].Label, label)
+		}
+	}
+}
+
+// TestAblationTopoBaselineIsHomogeneous: point 0 must equal a plain
+// homogeneous mix run cell-for-cell — the ablation's anchor is the
+// paper's machine, not a re-parameterized variant.
+func TestAblationTopoBaselineIsHomogeneous(t *testing.T) {
+	cfg := topoTestConfig()
+	grid := TopoGrid{Speeds: []string{"1,2"}, Topos: []mpsoc.Topology{mpsoc.TopoMesh}, Hops: []int64{8}}
+	s, err := AblationTopo(cfg, grid, []Policy{RRS, LSM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(s.Points))
+	}
+	base := cfg
+	base.Machine.Machine = mpsoc.Machine{}
+	apps, err := workload.BuildAll(base.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{RRS, LSM} {
+		want, err := RunMix(apps, p, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Points[0].Results[p]
+		if got == nil || got.Cycles != want.Cycles || got.Misses != want.Misses {
+			t.Errorf("%s: baseline point diverges from homogeneous mix run: %+v vs %+v", p, got, want)
+		}
+	}
+}
+
+// TestAblationTopoHeterogeneityCosts: on the heterogeneous mesh cell
+// every policy's makespan is at least the homogeneous baseline's (slower
+// cores and farther memory can only hurt), and the distance-aware
+// policies recover part of the gap: LSM stays ahead of RRS.
+func TestAblationTopoHeterogeneityCosts(t *testing.T) {
+	grid := TopoGrid{Speeds: []string{"1,4"}, Topos: []mpsoc.Topology{mpsoc.TopoMesh}, Hops: []int64{16}}
+	s, err := AblationTopo(topoTestConfig(), grid, []Policy{RRS, LSM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(s.Points))
+	}
+	baseline, hetero := s.Points[0], s.Points[1]
+	for _, p := range []Policy{RRS, LSM} {
+		if hetero.Results[p].Cycles < baseline.Results[p].Cycles {
+			t.Errorf("%s: heterogeneous cell faster than baseline (%d < %d cycles)",
+				p, hetero.Results[p].Cycles, baseline.Results[p].Cycles)
+		}
+	}
+	if lsm, rrs := hetero.Results[LSM].Cycles, hetero.Results[RRS].Cycles; lsm >= rrs {
+		t.Errorf("LSM (%d cycles) does not beat RRS (%d cycles) on the heterogeneous mesh cell", lsm, rrs)
+	}
+}
+
+// TestAblationTopoErrors pins the input validation: empty grid axes and
+// invalid machine specs are rejected.
+func TestAblationTopoErrors(t *testing.T) {
+	cfg := topoTestConfig()
+	bad := []TopoGrid{
+		{},
+		{Speeds: []string{"1"}, Topos: []mpsoc.Topology{mpsoc.TopoBus}},
+		{Speeds: []string{"1"}, Hops: []int64{0}},
+		{Topos: []mpsoc.Topology{mpsoc.TopoBus}, Hops: []int64{0}},
+		{Speeds: []string{"zero"}, Topos: []mpsoc.Topology{mpsoc.TopoBus}, Hops: []int64{0}},
+		{Speeds: []string{"1"}, Topos: []mpsoc.Topology{mpsoc.TopoBus}, Hops: []int64{-1}},
+	}
+	for i, grid := range bad {
+		if _, err := AblationTopo(cfg, grid, nil); err == nil {
+			t.Errorf("grid %d: AblationTopo accepted %+v", i, grid)
+		}
+	}
+}

@@ -49,6 +49,12 @@ type Config struct {
 	// exists for differential testing and before/after benchmarking, and
 	// for exotic traces where the RLE segments degenerate to length 1.
 	FlatStreams bool
+
+	// Machine extends the scalar parameters above with per-core speed
+	// classes and an interconnect topology (see Machine). The zero value
+	// is the paper's homogeneous shared-bus machine and is bit-identical
+	// to the pre-Machine engines.
+	Machine Machine
 }
 
 // DefaultConfig returns the paper's Table 2 parameters: 8 processors,
@@ -90,6 +96,9 @@ func (c Config) Validate() error {
 	}
 	if c.WritebackPenalty < 0 {
 		return fmt.Errorf("mpsoc: writeback penalty %d must be non-negative", c.WritebackPenalty)
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -171,6 +171,13 @@ type Runner struct {
 	cursors map[taskgraph.ProcID]procCursor
 	caches  []*cache.Cache
 	runs    int
+	// Per-core cost tables from the machine model (see machine.go):
+	// coreHitLat[c] is the core's speed-scaled hit latency, coreMissBase[c]
+	// its base miss penalty including the topology hop term. On the
+	// homogeneous zero-value Machine every entry equals cfg.HitLatency /
+	// cfg.MissPenalty, so dispatch arithmetic is unchanged bit for bit.
+	coreHitLat   []int64
+	coreMissBase []int64
 	// scratch for runSegmentRLE's iteration fast-forward, sized to the
 	// widest reference group.
 	blockScratch []int64
@@ -237,8 +244,13 @@ func NewRunner(g *taskgraph.Graph, am layout.AddressMap, cfg Config) (*Runner, e
 			maxRefs = n
 		}
 	}
+	coreHitLat, coreMissBase, err := cfg.coreCostTables()
+	if err != nil {
+		return nil, err
+	}
 	return &Runner{
 		g: g, cfg: cfg, cursors: cursors, caches: caches,
+		coreHitLat: coreHitLat, coreMissBase: coreMissBase,
 		blockScratch: make([]int64, maxRefs),
 		writeScratch: make([]bool, maxRefs),
 	}, nil
@@ -423,17 +435,20 @@ func (r *Runner) Run(d Dispatcher) (*Result, error) {
 			if pc.done() {
 				return nil, fmt.Errorf("mpsoc: policy %s re-picked completed process %v", d.Name(), id)
 			}
-			penalty := cfg.MissPenalty
+			// Cost inputs come from the dispatched core's machine-model
+			// tables; bus contention scales the whole off-chip penalty,
+			// hop term included.
+			penalty := r.coreMissBase[ev.core]
 			if cfg.BusFactor > 0 && busyCores > 0 {
-				penalty = int64(float64(cfg.MissPenalty) * (1 + cfg.BusFactor*float64(busyCores)))
+				penalty = int64(float64(penalty) * (1 + cfg.BusFactor*float64(busyCores)))
 			}
 			busyCores++
 			var cycles int64
 			var completed bool
 			if pc.flat != nil {
-				cycles, completed = runSegment(pc.flat, r.caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum)
+				cycles, completed = runSegment(pc.flat, r.caches[ev.core], r.coreHitLat[ev.core], penalty, cfg.WritebackPenalty, quantum)
 			} else {
-				cycles, completed = runSegmentRLE(pc.rle, r.caches[ev.core], cfg.HitLatency, penalty, cfg.WritebackPenalty, quantum, r.blockScratch, r.writeScratch)
+				cycles, completed = runSegmentRLE(pc.rle, r.caches[ev.core], r.coreHitLat[ev.core], penalty, cfg.WritebackPenalty, quantum, r.blockScratch, r.writeScratch)
 			}
 			st := &res.PerCore[ev.core]
 			st.BusyCycles += cycles

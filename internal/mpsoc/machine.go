@@ -1,0 +1,247 @@
+package mpsoc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file generalizes the paper's machine — homogeneous cores over a
+// shared bus with one flat miss penalty (Table 2) — into a heterogeneous,
+// topology-aware model: per-core speed classes (big.LITTLE-style cycle
+// multipliers) and an on-chip interconnect whose core→memory-controller
+// hop distance adds a per-hop term to the miss penalty. The homogeneous
+// machine is the zero value of Machine, not a separate code path: a
+// uniform-speed, zero-distance Machine is bit-identical to the scalar
+// (HitLatency, MissPenalty) model the engines always had, which the
+// differential suites and the fig6/fig7 goldens pin.
+//
+// The cost model, per access on core c:
+//
+//	hit:  HitLatency × speed(c)
+//	miss: HitLatency × speed(c) + MissPenalty + HopPenalty × dist(c)
+//
+// speed(c) scales the core's cache-access cycle cost (a class-k core
+// spends k cycles where a class-1 core spends one); per-iteration
+// compute cycles are a property of the process, not the core, and stay
+// unscaled. The hop term models NoC traversal to the memory controller;
+// under bus contention (Config.BusFactor) the whole off-chip penalty —
+// flat term plus hop term — is scaled, since both ride the interconnect.
+
+// Topology names the on-chip interconnect shape, which determines each
+// core's hop distance to the memory controller.
+type Topology int
+
+// The supported interconnect shapes.
+const (
+	// TopoBus is the paper's shared bus: every core is zero hops from
+	// memory, so HopPenalty never contributes.
+	TopoBus Topology = iota
+	// TopoMesh arranges cores row-major on the smallest square grid that
+	// holds them, with the memory controller at corner (0,0); distance is
+	// the Manhattan hop count.
+	TopoMesh
+	// TopoRing arranges cores on a ring with the memory controller at
+	// position 0; distance is the shorter way around.
+	TopoRing
+)
+
+// String returns the topology's canonical lowercase name.
+func (t Topology) String() string {
+	switch t {
+	case TopoBus:
+		return "bus"
+	case TopoMesh:
+		return "mesh"
+	case TopoRing:
+		return "ring"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// ParseTopology resolves a case-insensitive topology name. The empty
+// string is the bus (the zero value), so omitted knobs keep the paper's
+// machine.
+func ParseTopology(s string) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "bus":
+		return TopoBus, nil
+	case "mesh":
+		return TopoMesh, nil
+	case "ring":
+		return TopoRing, nil
+	}
+	return TopoBus, fmt.Errorf("mpsoc: unknown topology %q (want bus, mesh, or ring)", s)
+}
+
+// Magnitude caps on the heterogeneity knobs. They bound what a single
+// serving request can ask for (the daemon forwards request overrides into
+// Machine.Validate), so a hostile speed-class list or hop penalty cannot
+// overflow the cycle arithmetic or allocate absurd per-core tables.
+const (
+	// MaxSpeedClasses bounds the number of entries in a speed-class spec.
+	MaxSpeedClasses = 4096
+	// MaxSpeedClass bounds each cycle-scale multiplier.
+	MaxSpeedClass = 1024
+	// MaxHopPenalty bounds the per-hop miss-penalty term, in cycles.
+	MaxHopPenalty = 1 << 20
+)
+
+// Machine is the heterogeneity/topology extension of the scalar machine
+// parameters in Config. The zero value — no speed classes, bus topology,
+// zero hop penalty — is exactly the paper's homogeneous machine, and is
+// guaranteed Result-equal to the pre-Machine engines by the differential
+// suites. Machine is comparable (SpeedClasses is the canonical string
+// spec, not a slice), so Config remains usable as a cache key.
+type Machine struct {
+	// SpeedClasses is the per-core cycle-scale multiplier spec: a
+	// comma-separated list of positive integers, assigned to cores by
+	// cycling (core c gets class[c mod len]). "1,4" on 8 cores is a
+	// big.LITTLE mix of four fast and four 4×-slower cores. Empty means
+	// uniform speed 1.
+	SpeedClasses string
+	// Topology selects the interconnect shape feeding each core's hop
+	// distance to the memory controller.
+	Topology Topology
+	// HopPenalty is the extra miss cost per hop, in cycles: a miss on
+	// core c pays MissPenalty + HopPenalty×dist(c). Zero (or TopoBus,
+	// where every distance is zero) disables the term.
+	HopPenalty int64
+}
+
+// ParseSpeedClasses parses a speed-class spec into its multiplier list.
+// The empty spec is uniform speed: it returns [1]. Entries must be in
+// [1, MaxSpeedClass] and at most MaxSpeedClasses long.
+func ParseSpeedClasses(spec string) ([]int64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return []int64{1}, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) > MaxSpeedClasses {
+		return nil, fmt.Errorf("mpsoc: %d speed classes exceed the limit %d", len(parts), MaxSpeedClasses)
+	}
+	out := make([]int64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mpsoc: bad speed class %q (want a positive integer)", part)
+		}
+		if v < 1 || v > MaxSpeedClass {
+			return nil, fmt.Errorf("mpsoc: speed class %d out of range [1, %d]", v, MaxSpeedClass)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Validate checks the machine extension's knobs against the magnitude
+// caps.
+func (m Machine) Validate() error {
+	if _, err := ParseSpeedClasses(m.SpeedClasses); err != nil {
+		return err
+	}
+	switch m.Topology {
+	case TopoBus, TopoMesh, TopoRing:
+	default:
+		return fmt.Errorf("mpsoc: unknown topology %v", m.Topology)
+	}
+	if m.HopPenalty < 0 || m.HopPenalty > MaxHopPenalty {
+		return fmt.Errorf("mpsoc: hop penalty %d out of range [0, %d]", m.HopPenalty, MaxHopPenalty)
+	}
+	return nil
+}
+
+// Homogeneous reports whether the machine degenerates to the paper's
+// scalar model: every core at speed 1 and no effective hop term. An
+// invalid spec reports false (Validate is the place that rejects it).
+func (m Machine) Homogeneous() bool {
+	classes, err := ParseSpeedClasses(m.SpeedClasses)
+	if err != nil {
+		return false
+	}
+	for _, v := range classes {
+		if v != 1 {
+			return false
+		}
+	}
+	return m.HopPenalty == 0 || m.Topology == TopoBus
+}
+
+// meshSide returns the side of the smallest square mesh holding the
+// cores.
+func meshSide(cores int) int64 {
+	side := int64(1)
+	for side*side < int64(cores) {
+		side++
+	}
+	return side
+}
+
+// Distance returns core's hop count to the memory controller under the
+// machine's topology, for a machine of the given core count.
+func (m Machine) Distance(core, cores int) int64 {
+	switch m.Topology {
+	case TopoMesh:
+		side := meshSide(cores)
+		return int64(core)%side + int64(core)/side
+	case TopoRing:
+		d := int64(core)
+		if other := int64(cores) - d; other < d {
+			return other
+		}
+		return d
+	}
+	return 0
+}
+
+// coreCostTables builds the per-core effective hit latency and base miss
+// penalty of the cost model: hitLat[c] = HitLatency×speed(c) and
+// missBase[c] = MissPenalty + HopPenalty×dist(c). Bus-contention scaling
+// (BusFactor) is applied on top of missBase at dispatch time, exactly as
+// it was applied to the flat MissPenalty before.
+func (c Config) coreCostTables() (hitLat, missBase []int64, err error) {
+	classes, err := ParseSpeedClasses(c.Machine.SpeedClasses)
+	if err != nil {
+		return nil, nil, err
+	}
+	hitLat = make([]int64, c.Cores)
+	missBase = make([]int64, c.Cores)
+	for i := 0; i < c.Cores; i++ {
+		hitLat[i] = c.HitLatency * classes[i%len(classes)]
+		missBase[i] = c.MissPenalty + c.Machine.HopPenalty*c.Machine.Distance(i, c.Cores)
+	}
+	return hitLat, missBase, nil
+}
+
+// CoreHitLatency returns core's effective per-access hit latency:
+// HitLatency scaled by the core's speed class.
+func (c Config) CoreHitLatency(core int) int64 {
+	classes, err := ParseSpeedClasses(c.Machine.SpeedClasses)
+	if err != nil {
+		return c.HitLatency
+	}
+	return c.HitLatency * classes[core%len(classes)]
+}
+
+// CoreMissPenalty returns core's base off-chip penalty:
+// MissPenalty + HopPenalty×dist(core), before any bus-contention scaling.
+func (c Config) CoreMissPenalty(core int) int64 {
+	return c.MissPenalty + c.Machine.HopPenalty*c.Machine.Distance(core, c.Cores)
+}
+
+// CoreCostTable returns a per-core placement-ranking cost — the core's
+// effective hit latency plus its base miss penalty. Lower is better
+// (faster and/or nearer to memory); a homogeneous machine ranks every
+// core equal. The scheduling layer's distance hooks (LS seed placement,
+// ARR wake ordering) are built from this table.
+func (c Config) CoreCostTable() ([]int64, error) {
+	hitLat, missBase, err := c.coreCostTables()
+	if err != nil {
+		return nil, err
+	}
+	costs := make([]int64, c.Cores)
+	for i := range costs {
+		costs[i] = hitLat[i] + missBase[i]
+	}
+	return costs, nil
+}

@@ -175,8 +175,8 @@ func TestParallelEngineWorkerClamp(t *testing.T) {
 // is in flight) instead of racing two workers on one cursor.
 type stuckDispatcher struct{ id taskgraph.ProcID }
 
-func (s *stuckDispatcher) Name() string                { return "stuck" }
-func (s *stuckDispatcher) Ready(id taskgraph.ProcID)   { s.id = id }
+func (s *stuckDispatcher) Name() string                  { return "stuck" }
+func (s *stuckDispatcher) Ready(id taskgraph.ProcID)     { s.id = id }
 func (s *stuckDispatcher) Preempted(id taskgraph.ProcID) {}
 func (s *stuckDispatcher) Pick(core int, now int64) (taskgraph.ProcID, int64, bool) {
 	return s.id, 0, true

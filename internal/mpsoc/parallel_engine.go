@@ -65,8 +65,11 @@ type segTask struct {
 func (r *Runner) segWorker(tasks <-chan *segTask) {
 	blocks := make([]int64, len(r.blockScratch))
 	writes := make([]bool, len(r.writeScratch))
-	hitLat, wbPenalty := r.cfg.HitLatency, r.cfg.WritebackPenalty
+	wbPenalty := r.cfg.WritebackPenalty
 	for t := range tasks {
+		// The hit latency is the dispatched core's speed-scaled one;
+		// coreHitLat is built at construction and read-only here.
+		hitLat := r.coreHitLat[t.core]
 		if t.pc.flat != nil {
 			t.cycles, t.completed = runSegment(t.pc.flat, r.caches[t.core], hitLat, t.penalty, wbPenalty, t.quantum)
 		} else {
@@ -318,15 +321,19 @@ func (r *Runner) RunParallel(d Dispatcher, workers int) (*Result, error) {
 			if pc.done() {
 				return nil, fmt.Errorf("mpsoc: policy %s re-picked completed process %v", d.Name(), id)
 			}
-			penalty := cfg.MissPenalty
+			// Mirror Run's dispatch arithmetic on the per-core tables; the
+			// lookahead bound must use the dispatched core's scaled hit
+			// latency so a slow core's segments are bounded exactly as the
+			// sequential engine will cost them.
+			penalty := r.coreMissBase[ev.core]
 			if cfg.BusFactor > 0 && busyCores > 0 {
-				penalty = int64(float64(cfg.MissPenalty) * (1 + cfg.BusFactor*float64(busyCores)))
+				penalty = int64(float64(penalty) * (1 + cfg.BusFactor*float64(busyCores)))
 			}
 			busyCores++
 			t := &slots[ev.core]
 			t.id, t.pc, t.penalty, t.quantum = id, pc, penalty, quantum
 			t.start = now
-			t.bound = now + segBound(pc, cfg.HitLatency, quantum)
+			t.bound = now + segBound(pc, r.coreHitLat[ev.core], quantum)
 			running[id] = true
 			inFlight = append(inFlight, t)
 			tasks <- t

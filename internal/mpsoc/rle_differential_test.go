@@ -48,7 +48,9 @@ func rleDiffMaps(t *testing.T, app *workload.App, geom cache.Geometry) map[strin
 
 // rleDiffConfigs returns the machine variants the engines are compared
 // under: the Table 2 default, a quantum-stressing small-cache variant,
-// and a write-back variant (dirty-eviction cycles must also match).
+// a write-back variant (dirty-eviction cycles must also match), and a
+// heterogeneous variant (per-core speed classes on a mesh with a hop
+// penalty — the per-core cost tables must agree across engines too).
 func rleDiffConfigs() map[string]Config {
 	def := DefaultConfig()
 
@@ -60,7 +62,10 @@ func rleDiffConfigs() map[string]Config {
 	wb.WritePolicy = cache.WriteBack
 	wb.WritebackPenalty = 40
 
-	return map[string]Config{"Table2": def, "SmallCache": small, "WriteBack": wb}
+	het := DefaultConfig()
+	het.Machine = Machine{SpeedClasses: "1,3", Topology: TopoMesh, HopPenalty: 16}
+
+	return map[string]Config{"Table2": def, "SmallCache": small, "WriteBack": wb, "Hetero": het}
 }
 
 // rleDiffDispatchers returns fresh dispatcher constructors. The quantum

@@ -88,6 +88,12 @@ type AffinityRR struct {
 	// lastAt[h] is the cycle that segment ended.
 	lastCore []int32
 	lastAt   []int64
+	// biasOrder, when set via SetCoreBias, lists the machine's cores in
+	// ascending placement-cost order; AffinityHints appends it after the
+	// warm hints so cold dispatches wake fast/near idle cores first. Nil
+	// on homogeneous machines — hint behaviour then is exactly the
+	// pre-bias one.
+	biasOrder []int32
 }
 
 // NewAffinityRR returns an ARR dispatcher for the configuration.
@@ -105,6 +111,27 @@ func MustAffinityRR(cfg AffinityConfig) *AffinityRR {
 		panic(err)
 	}
 	return a
+}
+
+// SetCoreBias installs the machine-model placement hook: bias ranks the
+// machine's cores (lower is better, see CoreBias) and ARR thereafter
+// yields the full core list in that order from AffinityHints, after the
+// warm hints — so when several cores idle at the same cycle, cold work
+// is offered to the fastest/nearest one first. A nil bias removes the
+// hook and restores the exact pre-bias hint stream; either way the
+// woken set is only reordered, never enlarged, so the engine's
+// idle-offer elision stays legal and ARR-at-window-0 remains
+// bit-identical to RRS on homogeneous machines.
+func (a *AffinityRR) SetCoreBias(cores int, bias CoreBias) {
+	if bias == nil {
+		a.biasOrder = nil
+		return
+	}
+	order := coreOrder(cores, bias)
+	a.biasOrder = make([]int32, len(order))
+	for i, c := range order {
+		a.biasOrder[i] = int32(c)
+	}
 }
 
 // Name implements mpsoc.Dispatcher.
@@ -224,7 +251,10 @@ func (a *AffinityRR) Pick(core int, now int64) (taskgraph.ProcID, int64, bool) {
 // until yield returns false. The engine wakes those idle cores first so
 // same-cycle offers reach a pending process's previous core before any
 // other. With Window 0 nothing is yielded and the engine's wake order
-// is untouched (part of the RRS bit-identity contract).
+// is untouched (part of the RRS bit-identity contract) — unless a core
+// bias is installed (SetCoreBias), in which case the machine's cores
+// are yielded after the warm hints in placement-cost order, steering
+// cold dispatches toward fast/near idle cores.
 func (a *AffinityRR) AffinityHints(now int64, yield func(core int) bool) {
 	w := a.cfg.Window
 	if w > len(a.queue) {
@@ -236,6 +266,11 @@ func (a *AffinityRR) AffinityHints(now int64, yield func(core int) bool) {
 			if !yield(int(a.lastCore[h])) {
 				return
 			}
+		}
+	}
+	for _, c := range a.biasOrder {
+		if !yield(int(c)) {
+			return
 		}
 	}
 }

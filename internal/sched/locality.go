@@ -11,6 +11,32 @@ import (
 	"locsched/internal/taskgraph"
 )
 
+// CoreBias ranks cores for placement on a heterogeneous machine: it
+// returns a placement cost for the core, and lower is better (a faster
+// speed class, fewer interconnect hops to memory, or both — callers
+// typically build it from mpsoc.Config.CoreCostTable). A nil CoreBias
+// means the homogeneous machine: every consumer of the hook must then
+// behave bit-identically to its pre-hook self, which the differential
+// tests pin. Implementations must be deterministic and side-effect-free.
+type CoreBias func(core int) int64
+
+// coreOrder returns the cores in placement-preference order: ascending
+// bias, ties toward the lower index. A nil bias yields identity order,
+// which makes every order-driven loop below degenerate to the plain
+// index scan it replaced.
+func coreOrder(cores int, bias CoreBias) []int {
+	order := make([]int, cores)
+	for i := range order {
+		order[i] = i
+	}
+	if bias != nil {
+		sort.SliceStable(order, func(a, b int) bool {
+			return bias(order[a]) < bias(order[b])
+		})
+	}
+	return order
+}
+
 // LocalitySchedule runs the greedy heuristic of the paper's Figure 3 over
 // the EPG and its sharing matrix, producing a static per-core order.
 //
@@ -45,6 +71,18 @@ import (
 // the differential tests pin both across the Table 1 apps and generated
 // XL mixes.
 func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assignment, error) {
+	return LocalityScheduleBiased(g, m, cores, nil)
+}
+
+// LocalityScheduleBiased is LocalitySchedule with a machine-model
+// placement hook: when bias is non-nil, cores are served in bias order
+// instead of index order — the first-quantum seeds land on the
+// best-ranked cores, and least-loaded ties in the steady state break
+// toward the lower-bias core. The schedule structure (which processes
+// run consecutively, and so the sharing the mapping phase exploits) is
+// unchanged; only the assignment of per-core lists to physical cores
+// shifts toward fast/near cores. A nil bias is exactly LocalitySchedule.
+func LocalityScheduleBiased(g *taskgraph.Graph, m *sharing.Matrix, cores int, bias CoreBias) (*Assignment, error) {
 	if cores <= 0 {
 		return nil, fmt.Errorf("sched: cores %d must be positive", cores)
 	}
@@ -215,7 +253,12 @@ func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assign
 			}
 		}
 	}
-	for k, i := range in {
+	// order is the core service sequence: identity for the homogeneous
+	// machine, bias-ascending for heterogeneous ones. Seeds fill the
+	// best-ranked cores first.
+	order := coreOrder(cores, bias)
+	for x, i := range in {
+		k := order[x]
 		asg.PerCore[k] = append(asg.PerCore[k], ids[i])
 		load[k] += cost[i]
 		last[k] = i
@@ -231,8 +274,10 @@ func LocalitySchedule(g *taskgraph.Graph, m *sharing.Matrix, cores int) (*Assign
 		if len(ready) == 0 {
 			return nil, fmt.Errorf("sched: no eligible process among %d remaining (graph inconsistent?)", remaining)
 		}
-		k := 0
-		for c := 1; c < cores; c++ {
+		// Least-loaded scan walks the service sequence, so load ties break
+		// toward the lower-bias core (lower index when unbiased).
+		k := order[0]
+		for _, c := range order[1:] {
 			if load[c] < load[k] {
 				k = c
 			}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"locsched/internal/experiment"
+	"locsched/internal/mpsoc"
 	"locsched/internal/prog"
 	"locsched/internal/taskgraph"
 	"locsched/internal/workload"
@@ -84,6 +85,17 @@ type ConfigSpec struct {
 	QBatch *int `json:"qbatch,omitempty"`
 	// AffinityDecay overrides ARR's staleness bound (nil = base).
 	AffinityDecay *int64 `json:"adecay,omitempty"`
+	// SpeedClasses sets the per-core speed-class mix, as a comma-separated
+	// cycle-multiplier list cycled across cores ("" = uniform speed; see
+	// mpsoc.Machine.SpeedClasses). Magnitudes are capped by
+	// mpsoc.Machine.Validate.
+	SpeedClasses string `json:"speed_classes,omitempty"`
+	// Topology sets the interconnect shape: "bus" (default), "mesh", or
+	// "ring".
+	Topology string `json:"topology,omitempty"`
+	// HopPenalty sets the extra miss cost per interconnect hop, in cycles
+	// (nil = 0; capped by mpsoc.MaxHopPenalty).
+	HopPenalty *int64 `json:"hop_penalty,omitempty"`
 }
 
 // RunRequest is the /v1/run body: one workload under one policy.
@@ -384,6 +396,22 @@ func (p *experimentPlanner) resolveConfig(spec ConfigSpec, scale int) (experimen
 	}
 	if spec.AffinityDecay != nil {
 		cfg.AffinityDecay = *spec.AffinityDecay
+	}
+	// Machine-model overrides: parsed/capped by mpsoc (ParseTopology and,
+	// via cfg.Validate below, Machine.Validate's speed-class and
+	// hop-penalty bounds).
+	if spec.SpeedClasses != "" {
+		cfg.Machine.Machine.SpeedClasses = spec.SpeedClasses
+	}
+	if spec.Topology != "" {
+		topo, err := mpsoc.ParseTopology(spec.Topology)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Machine.Machine.Topology = topo
+	}
+	if spec.HopPenalty != nil {
+		cfg.Machine.Machine.HopPenalty = *spec.HopPenalty
 	}
 	cfg.Align = cfg.Machine.Cache.BlockSize
 	cfg.Workers = p.expWorkers

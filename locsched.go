@@ -45,6 +45,12 @@ type (
 	Config = experiment.Config
 	// MachineConfig describes the simulated MPSoC (Table 2).
 	MachineConfig = mpsoc.Config
+	// Machine is the heterogeneity/topology extension of MachineConfig:
+	// per-core speed classes and an interconnect whose hop distance feeds
+	// the miss penalty. Its zero value is the paper's homogeneous machine.
+	Machine = mpsoc.Machine
+	// Topology names an on-chip interconnect shape (bus, mesh, ring).
+	Topology = mpsoc.Topology
 	// CacheGeometry describes one per-core L1 cache.
 	CacheGeometry = cache.Geometry
 	// Policy names a scheduling strategy.
@@ -105,6 +111,24 @@ const (
 	// CPL is critical-path list scheduling (extension baseline).
 	CPL = experiment.CPL
 )
+
+// The supported interconnect topologies of the Machine extension.
+const (
+	// TopoBus is the paper's shared bus (zero hop distance everywhere).
+	TopoBus = mpsoc.TopoBus
+	// TopoMesh is a square mesh with the memory controller at a corner.
+	TopoMesh = mpsoc.TopoMesh
+	// TopoRing is a ring with the memory controller at position 0.
+	TopoRing = mpsoc.TopoRing
+)
+
+// ParseTopology resolves a case-insensitive topology name ("", "bus",
+// "mesh", "ring").
+func ParseTopology(s string) (Topology, error) { return mpsoc.ParseTopology(s) }
+
+// ParseSpeedClasses parses a comma-separated speed-class spec into its
+// cycle-multiplier list (see Machine.SpeedClasses).
+func ParseSpeedClasses(spec string) ([]int64, error) { return mpsoc.ParseSpeedClasses(spec) }
 
 // AccessKind values for building custom references.
 const (
@@ -332,6 +356,21 @@ func AblationIndexing(cfg Config) (*Sweep, error) {
 // the default grid.
 func AblationAffinity(cfg Config, windows []int, batches []int) (*Sweep, error) {
 	return experiment.AblationAffinity(cfg, windows, batches)
+}
+
+// TopoGrid parameterizes AblationTopo: speed-class mixes × interconnect
+// topologies × per-hop miss penalties.
+type TopoGrid = experiment.TopoGrid
+
+// DefaultTopoGrid returns the standard machine-model ablation grid
+// (uniform and big.LITTLE mixes, bus and mesh, hop penalties 0 and 16).
+func DefaultTopoGrid() TopoGrid { return experiment.DefaultTopoGrid() }
+
+// AblationTopo sweeps the machine-model axis — speed mix × topology ×
+// hop penalty — over the full concurrent mix against the homogeneous
+// baseline (point 0). Nil policies run RRS, ARR, LS, LSM.
+func AblationTopo(cfg Config, grid TopoGrid, policies []Policy) (*Sweep, error) {
+	return experiment.AblationTopo(cfg, grid, policies)
 }
 
 // GreedyQualityRow compares the Figure 3 greedy against the exact
