@@ -572,6 +572,7 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 	fleetMode := fs.Bool("fleet", false, "run the fleet differential bench: the stream against one in-process instance, then an in-process replica fleet, asserting byte-identical bodies and no worse hit rate")
 	replicas := fs.Int("replicas", 3, "fleet size for -fleet")
 	warmManifest := fs.String("warm-manifest", "", "cache manifest to replay as a warm set before the stream (with -serve)")
+	metricsURL := fs.String("metrics-url", "", "daemon /metricsz URL to scrape before and after the run, reporting server-side queue/coalesce/request latency quantiles (with -serve)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -631,7 +632,7 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *serveURL == "" || fs.NArg() != 0 || *conc <= 0 || *requests <= 0 || *scale < 0 || *storeDir != "" {
-		fmt.Fprintln(stderr, "locsched bench: usage: locsched bench -serve URL [-conc N] [-requests N] [-scale N] [-timeout D] [-expect-cache] [-warm-manifest FILE]")
+		fmt.Fprintln(stderr, "locsched bench: usage: locsched bench -serve URL [-conc N] [-requests N] [-scale N] [-timeout D] [-expect-cache] [-warm-manifest FILE] [-metrics-url URL]")
 		return 2
 	}
 	rep, err := server.RunLoad(server.LoadConfig{
@@ -641,6 +642,7 @@ func benchMain(args []string, stdout, stderr io.Writer) int {
 		Scale:        *scale,
 		Timeout:      *timeout,
 		WarmManifest: *warmManifest,
+		MetricsURL:   *metricsURL,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, "locsched bench:", err)

@@ -25,8 +25,15 @@ var godocGatedFiles = []string{
 	"internal/sched/locality.go",
 	"internal/sharing/parallel.go",
 	"internal/taskgraph/content.go",
+	"internal/obs/metrics.go",
+	"internal/obs/histogram.go",
+	"internal/obs/expfmt.go",
+	"internal/obs/trace.go",
+	"internal/obs/log.go",
 	"internal/server/server.go",
 	"internal/server/planner.go",
+	"internal/server/metrics.go",
+	"internal/experiment/metrics.go",
 	"internal/server/cache.go",
 	"internal/server/coalesce.go",
 	"internal/server/config.go",

@@ -11,6 +11,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"locsched/internal/obs"
 )
 
 // Peer-protocol headers. The CRC travels with the bytes so a fetching
@@ -55,6 +57,7 @@ var ErrCorrupt = errors.New("fleet: peer response failed CRC verification")
 type Client struct {
 	http    *http.Client
 	timeout time.Duration
+	metrics *obs.Registry
 }
 
 // NewClient builds a peer client with the given per-attempt timeout
@@ -73,6 +76,44 @@ func NewClient(timeout time.Duration, transport http.RoundTripper) *Client {
 // Timeout returns the per-attempt timeout the client was built with.
 func (c *Client) Timeout() time.Duration { return c.timeout }
 
+// SetMetrics enables per-peer outcome counters on r
+// (locsched_fleet_peer_fetch_total{peer,outcome} and
+// locsched_fleet_peer_replicate_total{peer,outcome}). Call before
+// serving traffic; nil leaves the client uninstrumented.
+func (c *Client) SetMetrics(r *obs.Registry) { c.metrics = r }
+
+// countOutcome records one per-peer operation outcome (no-op without a
+// registry).
+func (c *Client) countOutcome(op, peer, outcome string) {
+	if c.metrics == nil {
+		return
+	}
+	c.metrics.Counter("locsched_fleet_peer_"+op+"_total",
+		"Per-peer "+op+" outcomes.",
+		obs.L("peer", peer), obs.L("outcome", outcome)).Inc()
+}
+
+// fetchOutcome maps a Fetch error to its metric outcome label.
+func fetchOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "hit"
+	case errors.Is(err, ErrNotFound):
+		return "miss"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
+	}
+	return "error"
+}
+
+// withTrace forwards the request context's trace id so one user request
+// is correlatable across every replica it touches.
+func withTrace(ctx context.Context, req *http.Request) {
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+}
+
 // peerURL renders the peer-protocol URL for key on a member base URL.
 // Keys are path-escaped; they contain '|' separators but never '/', so
 // the escaped form round-trips through any proxy unambiguously.
@@ -87,6 +128,7 @@ func peerURL(base, key string) string {
 // success it returns the verified body and the entry's recorded compute
 // cost in nanoseconds.
 func (c *Client) Fetch(ctx context.Context, base, key string) (body []byte, costNanos int64, err error) {
+	defer func() { c.countOutcome("fetch", base, fetchOutcome(err)) }()
 	for attempt := 0; attempt < 2; attempt++ {
 		body, costNanos, err = c.fetchOnce(ctx, base, key)
 		if err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrCorrupt) || ctx.Err() != nil {
@@ -102,6 +144,7 @@ func (c *Client) fetchOnce(ctx context.Context, base, key string) ([]byte, int64
 	if err != nil {
 		return nil, 0, fmt.Errorf("fleet: building peer request: %w", err)
 	}
+	withTrace(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, 0, fmt.Errorf("fleet: peer fetch from %s: %w", base, err)
@@ -134,8 +177,14 @@ func (c *Client) fetchOnce(ctx context.Context, base, key string) ([]byte, int64
 // for the key finds it where the ring routes. Best-effort with one
 // retry: a failed replication only costs the fleet a future duplicate
 // recompute, never correctness.
-func (c *Client) Replicate(ctx context.Context, base, key string, body []byte, costNanos int64) error {
-	var err error
+func (c *Client) Replicate(ctx context.Context, base, key string, body []byte, costNanos int64) (err error) {
+	defer func() {
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		c.countOutcome("replicate", base, outcome)
+	}()
 	for attempt := 0; attempt < 2; attempt++ {
 		err = c.replicateOnce(ctx, base, key, body, costNanos)
 		if err == nil || ctx.Err() != nil {
@@ -151,6 +200,7 @@ func (c *Client) replicateOnce(ctx context.Context, base, key string, body []byt
 	if err != nil {
 		return fmt.Errorf("fleet: building replication request: %w", err)
 	}
+	withTrace(ctx, req)
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(HeaderCRC, Checksum(body))
 	req.Header.Set(HeaderCost, strconv.FormatInt(costNanos, 10))

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets returns the standard latency bucket bounds in
+// seconds: 100 µs through 60 s with roughly 1-2.5-5 spacing — wide
+// enough for everything from a memory-cache hit to a 512-core figure
+// regeneration.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.00025, 0.0005,
+		0.001, 0.0025, 0.005,
+		0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5,
+		1, 2.5, 5,
+		10, 30, 60,
+	}
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe and
+// Snapshot: per-bucket atomic counts plus an atomically accumulated sum.
+// Build registered instances with Registry.Histogram; NewHistogram is
+// exported for standalone use (quantile math in tests, bench reports).
+type Histogram struct {
+	bounds []float64      // strictly increasing upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram with the given strictly increasing
+// bucket upper bounds (nil or empty selects DefaultLatencyBuckets).
+// Panics on unsorted, duplicate, or non-finite bounds — bucket layout is
+// a compile-time decision, not input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	for i, b := range bs {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram bounds must be finite")
+		}
+		if i > 0 && bs[i-1] >= b {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value. NaN and ±Inf observations are dropped —
+// they would poison the sum and can only come from upstream bugs, which
+// the counters' consumers must not inherit.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v; len(bounds) = +Inf
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state. Counts
+// are per-bucket (not cumulative); Counts[len(Bounds)] is the overflow
+// (+Inf) bucket.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds, ascending.
+	Bounds []float64
+	// Counts holds per-bucket observation counts, one longer than Bounds.
+	Counts []int64
+	// Sum is the total of every observed value.
+	Sum float64
+	// Count is the total observation count.
+	Count int64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observe
+// calls may land between bucket reads; the snapshot is a consistent
+// enough view for exposition and quantile estimation, never a torn read
+// of any single value.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) by linear
+// interpolation inside the bucket holding the target rank — the same
+// estimator as PromQL's histogram_quantile. Observations in the overflow
+// bucket clamp to the highest finite bound; an empty histogram reports 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		bucket := s.Counts[i]
+		if float64(cum+bucket) >= target && bucket > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			frac := (target - float64(cum)) / float64(bucket)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (bound-lo)*frac
+		}
+		cum += bucket
+	}
+	// Target rank lives in the overflow bucket: all we know is "past the
+	// last bound".
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header carrying a request's trace id between
+// fleet replicas. The serving middleware echoes it on every response and
+// fleet.Client forwards it on peer GET/PUT calls, so one user request is
+// correlatable across every replica it touched.
+const TraceHeader = "X-Locsched-Trace-Id"
+
+// tracePrefix is a per-process random prefix so trace ids minted by
+// different replicas never collide; traceSeq disambiguates within the
+// process.
+var (
+	tracePrefix = newTracePrefix()
+	traceSeq    atomic.Uint64
+)
+
+// newTracePrefix derives the process-unique trace-id prefix. It seeds
+// from wall clock and PID rather than crypto/rand: trace ids are
+// correlation keys, not secrets, and this path must never fail.
+func newTracePrefix() string {
+	var b [8]byte
+	seed := uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32
+	binary.BigEndian.PutUint64(b[:], rand.New(rand.NewSource(int64(seed))).Uint64())
+	return hex.EncodeToString(b[:])
+}
+
+// NewTraceID mints a process-unique trace id: a random per-process hex
+// prefix plus a monotone sequence number.
+func NewTraceID() string {
+	return fmt.Sprintf("%s-%08x", tracePrefix, traceSeq.Add(1))
+}
+
+// ValidTraceID reports whether id is acceptable as an inbound trace id:
+// 1–64 characters of hex digits and dashes. Anything else is discarded
+// and re-minted so hostile header values never reach the logs unescaped.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Trace is one request's span collector. All methods are nil-safe: code
+// paths that run without tracing (tests, background jobs) pass a nil
+// *Trace and every call degrades to a no-op, so instrumentation never
+// needs conditionals at the call site.
+type Trace struct {
+	id     string
+	logger *slog.Logger
+}
+
+// NewTrace builds a trace with the given id that emits span records to
+// logger at Debug level. A nil logger yields a nil trace (all no-ops).
+func NewTrace(id string, logger *slog.Logger) *Trace {
+	if logger == nil {
+		return nil
+	}
+	return &Trace{id: id, logger: logger}
+}
+
+// ID returns the trace id ("" for a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start opens a span with the given name; the returned *Span is nil-safe
+// and records its duration when End is called.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{trace: t, name: name, start: time.Now()}
+}
+
+// Event records an already-measured duration as a span — used where the
+// wait is observed after the fact (queue wait measured at dequeue).
+func (t *Trace) Event(name string, d time.Duration, attrs ...slog.Attr) {
+	if t == nil {
+		return
+	}
+	t.emit(name, d, attrs)
+}
+
+// emit writes one span record.
+func (t *Trace) emit(name string, d time.Duration, attrs []slog.Attr) {
+	args := make([]slog.Attr, 0, len(attrs)+3)
+	args = append(args,
+		slog.String("trace_id", t.id),
+		slog.String("span", name),
+		slog.Duration("dur", d),
+	)
+	args = append(args, attrs...)
+	t.logger.LogAttrs(context.Background(), slog.LevelDebug, "span", args...)
+}
+
+// Span is one timed stage of a request. End is idempotent and nil-safe.
+type Span struct {
+	trace *Trace
+	name  string
+	start time.Time
+	done  bool
+	attrs []slog.Attr
+}
+
+// SetAttr attaches an attribute to the span record emitted at End.
+func (sp *Span) SetAttr(attrs ...slog.Attr) {
+	if sp == nil {
+		return
+	}
+	sp.attrs = append(sp.attrs, attrs...)
+}
+
+// End closes the span, emitting its record with the elapsed duration.
+// Calling End twice (or on a nil span) is a no-op.
+func (sp *Span) End() time.Duration {
+	if sp == nil || sp.done {
+		return 0
+	}
+	sp.done = true
+	d := time.Since(sp.start)
+	sp.trace.emit(sp.name, d, sp.attrs)
+	return d
+}
+
+// traceKey is the context key type for the request trace.
+type traceKey struct{}
+
+// Into returns a context carrying the trace (nil traces pass through
+// unchanged, keeping From cheap on untraced paths).
+func Into(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// From extracts the request trace from ctx; nil when the request is
+// untraced.
+func From(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// TraceID returns the trace id carried by ctx ("" when untraced) — the
+// value fleet.Client forwards in TraceHeader.
+func TraceID(ctx context.Context) string {
+	return From(ctx).ID()
+}

@@ -11,6 +11,8 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+
+	"locsched/internal/obs"
 )
 
 // Main is the daemon's CLI entry point, shared by cmd/locschedd and the
@@ -36,6 +38,9 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fleetSelf := fs.String("fleet-self", "", "this replica's advertised base URL, enabling fleet mode (empty = single instance)")
 	fleetPeers := fs.String("fleet-peers", "", "comma-separated peer replica base URLs (requires -fleet-self)")
 	peerTimeout := fs.Duration("peer-timeout", 0, "per-attempt peer fetch timeout (0 = 2s default)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug (includes trace spans), info, warn, error")
+	logFormat := fs.String("log-format", "text", "structured log format: text or json")
+	pprof := fs.Bool("pprof", false, "register net/http/pprof handlers under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -62,6 +67,18 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	cfg.StoreBytes = *storeMB << 20
 	cfg.FleetSelf = *fleetSelf
 	cfg.PeerTimeout = *peerTimeout
+	cfg.Pprof = *pprof
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(stderr, "locschedd:", err)
+		return 2
+	}
+	logger, err := obs.NewLogger(stderr, *logFormat, level)
+	if err != nil {
+		fmt.Fprintln(stderr, "locschedd:", err)
+		return 2
+	}
+	cfg.Logger = logger
 	if *fleetPeers != "" {
 		for _, p := range strings.Split(*fleetPeers, ",") {
 			if p = strings.TrimSpace(p); p != "" {

@@ -32,6 +32,7 @@ package server
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
@@ -105,6 +106,15 @@ type Config struct {
 	// client — the chaos tests' failure-injection seam (nil = the default
 	// transport).
 	PeerTransport http.RoundTripper
+	// Logger receives the daemon's structured access and span logs
+	// (access lines at Info, trace spans at Debug). nil discards
+	// everything, keeping embedded and test servers silent; response
+	// bytes are identical either way.
+	Logger *slog.Logger
+	// Pprof, when true, registers net/http/pprof's profiling handlers
+	// under /debug/pprof/ on the daemon mux. Off by default: the daemon
+	// usually listens on loopback, but profiling endpoints stay opt-in.
+	Pprof bool
 }
 
 // DefaultConfig returns the daemon defaults: a loopback listener, a

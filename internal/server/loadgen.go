@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"locsched/internal/obs"
 	"locsched/internal/workload"
 )
 
@@ -44,6 +45,12 @@ type LoadConfig struct {
 	// previous lifetime's realistic working set instead of a synthetic
 	// one.
 	WarmManifest string
+	// MetricsURL, when non-empty, is the daemon's /metricsz endpoint
+	// (e.g. http://127.0.0.1:8077/metricsz). The bench scrapes it before
+	// and after the run and reports this run's server-side latency
+	// quantiles (queue wait, coalesce wait, end-to-end request)
+	// reconstructed from the histogram deltas.
+	MetricsURL string
 }
 
 // LoadReport is the outcome of one load-generation run.
@@ -76,6 +83,66 @@ type LoadReport struct {
 	// lifetime. Gauges (queue depth, cache entries, uptime) are the
 	// after-run values.
 	Stats StatsSnapshot
+	// Metrics holds the server-side histogram quantiles scraped from
+	// /metricsz over this run; nil unless LoadConfig.MetricsURL was set.
+	Metrics *MetricsReport
+}
+
+// MetricsReport is the scrape-and-diff view of the daemon's /metricsz
+// latency histograms across one bench run: quantiles estimated from the
+// after-minus-before bucket deltas, so they describe only this run's
+// requests.
+type MetricsReport struct {
+	// QueueWait is the admitted jobs' enqueue-to-dequeue wait.
+	QueueWait HistQuantiles
+	// CoalesceWait is the coalesced followers' join-to-result wait.
+	CoalesceWait HistQuantiles
+	// Request is the end-to-end server-side request latency.
+	Request HistQuantiles
+	// Execution is the worker-pool job execution time.
+	Execution HistQuantiles
+}
+
+// HistQuantiles summarizes one histogram delta: observation count and
+// estimated p50/p95/p99 in seconds.
+type HistQuantiles struct {
+	// Count is the number of observations this run added.
+	Count int64
+	// P50, P95, and P99 are histogram-estimated quantiles in seconds
+	// (PromQL-style linear interpolation within the target bucket).
+	P50, P95, P99 float64
+}
+
+// histQuantiles reconstructs the named histogram from delta samples and
+// estimates its quantiles.
+func histQuantiles(delta []obs.Sample, name string) HistQuantiles {
+	snap, ok := obs.HistogramFromSamples(delta, name)
+	if !ok {
+		return HistQuantiles{}
+	}
+	return HistQuantiles{
+		Count: snap.Count,
+		P50:   snap.Quantile(0.50),
+		P95:   snap.Quantile(0.95),
+		P99:   snap.Quantile(0.99),
+	}
+}
+
+// scrapeMetrics fetches and parses one /metricsz exposition page.
+func scrapeMetrics(client *http.Client, url string) ([]obs.Sample, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics endpoint answered %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseExposition(body)
 }
 
 // streamBody builds one request of the mixed scenario stream.
@@ -134,6 +201,12 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	before, err := fetchStats(client, base)
 	if err != nil {
 		return nil, fmt.Errorf("server: reading /statsz before load: %w", err)
+	}
+	var metricsBefore []obs.Sample
+	if cfg.MetricsURL != "" {
+		if metricsBefore, err = scrapeMetrics(client, cfg.MetricsURL); err != nil {
+			return nil, fmt.Errorf("server: scraping metrics before load: %w", err)
+		}
 	}
 
 	rep := &LoadReport{}
@@ -266,6 +339,19 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 		return nil, fmt.Errorf("server: reading /statsz after load: %w", err)
 	}
 	rep.Stats = statsDelta(after, before)
+	if cfg.MetricsURL != "" {
+		metricsAfter, err := scrapeMetrics(client, cfg.MetricsURL)
+		if err != nil {
+			return nil, fmt.Errorf("server: scraping metrics after load: %w", err)
+		}
+		delta := obs.DeltaSamples(metricsAfter, metricsBefore)
+		rep.Metrics = &MetricsReport{
+			QueueWait:    histQuantiles(delta, "locsched_server_queue_wait_seconds"),
+			CoalesceWait: histQuantiles(delta, "locsched_server_coalesce_wait_seconds"),
+			Request:      histQuantiles(delta, "locsched_server_request_seconds"),
+			Execution:    histQuantiles(delta, "locsched_server_execution_seconds"),
+		}
+	}
 	return rep, nil
 }
 
@@ -456,5 +542,15 @@ func (r *LoadReport) Format() string {
 	fmt.Fprintf(&b, "experiment caches: analysis %d/%d/%d hits (matrix/ls/lsm), runner pool %d, intern %d\n",
 		r.Stats.Experiment.MatrixHits, r.Stats.Experiment.LSHits, r.Stats.Experiment.LSMHits,
 		r.Stats.Experiment.RunnerPoolHits, r.Stats.Experiment.InternHits)
+	if m := r.Metrics; m != nil {
+		line := func(name string, q HistQuantiles) {
+			fmt.Fprintf(&b, "server %s (this run): %d observed, p50 %.2fms, p95 %.2fms, p99 %.2fms\n",
+				name, q.Count, q.P50*1e3, q.P95*1e3, q.P99*1e3)
+		}
+		line("queue wait", m.QueueWait)
+		line("coalesce wait", m.CoalesceWait)
+		line("execution", m.Execution)
+		line("request", m.Request)
+	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strconv"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"locsched/internal/fleet"
+	"locsched/internal/obs"
 	"locsched/internal/store"
 )
 
@@ -29,10 +31,14 @@ var errSaturated = errors.New("server: job queue saturated")
 // header precisely so all the bodies stay byte-identical.
 const resultHeader = "X-Locsched-Result"
 
-// task pairs an admitted job with the pending call its waiters block on.
+// task pairs an admitted job with the pending call its waiters block
+// on, carrying the admitting request's trace and enqueue time so the
+// worker can attribute queue wait and execution to the right request.
 type task struct {
-	job  *Job
-	call *call
+	job      *Job
+	call     *call
+	trace    *obs.Trace
+	enqueued time.Time
 }
 
 // Server is the serving daemon: HTTP handlers feeding a bounded job
@@ -49,6 +55,11 @@ type Server struct {
 	stats   counters
 	started time.Time
 	mux     *http.ServeMux
+
+	// obs is the observability state (registry, logger, histograms);
+	// handler is the mux wrapped in the tracing/logging middleware.
+	obs     *serverObs
+	handler http.Handler
 
 	// store is the persistent tier under the LRU (nil when disabled or
 	// when opening it failed — storeErr holds why). storeOwned marks a
@@ -97,12 +108,14 @@ func New(cfg Config, planner Planner) (*Server, error) {
 		jobs:     make(chan *task, cfg.QueueDepth),
 		started:  time.Now(),
 		draining: make(chan struct{}),
+		obs:      newServerObs(cfg.Logger),
 	}
+	s.stats = newCounters(s.obs.reg)
 	switch {
 	case cfg.Store != nil:
 		s.store = cfg.Store
 	case cfg.StoreDir != "":
-		st, err := store.Open(cfg.StoreDir, store.Options{MaxBytes: cfg.StoreBytes})
+		st, err := store.Open(cfg.StoreDir, store.Options{MaxBytes: cfg.StoreBytes, Metrics: s.obs.reg})
 		if err != nil {
 			s.storeErr = err
 		} else {
@@ -112,6 +125,7 @@ func New(cfg Config, planner Planner) (*Server, error) {
 	if cfg.FleetSelf != "" {
 		s.ring = fleet.NewRing(cfg.FleetSelf, cfg.FleetPeers)
 		s.peers = fleet.NewClient(cfg.PeerTimeout, cfg.PeerTransport)
+		s.peers.SetMetrics(s.obs.reg)
 	}
 	if s.store != nil {
 		s.replayMeta = make(map[string][]byte)
@@ -127,6 +141,9 @@ func New(cfg Config, planner Planner) (*Server, error) {
 		// the pre-fleet route set and request path.
 		s.mux.HandleFunc("/v1/peer/", s.handlePeer)
 	}
+	s.mountObsEndpoints()
+	s.registerGauges()
+	s.handler = s.withObs(s.mux)
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -134,8 +151,9 @@ func New(cfg Config, planner Planner) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (for tests and embedding),
+// with the tracing/logging middleware already applied.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // worker drains the job queue: each task executes at most once, fills
 // the result cache (and writes through to the persistent store) on
@@ -149,16 +167,26 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) worker() {
 	defer s.workers.Done()
 	for t := range s.jobs {
+		wait := time.Since(t.enqueued)
+		s.obs.queueWaitSeconds.Observe(wait.Seconds())
+		t.trace.Event("queue_wait", wait)
 		start := time.Now()
 		body, err := runJob(t.job)
-		cost := time.Since(start).Nanoseconds()
+		elapsed := time.Since(start)
+		cost := elapsed.Nanoseconds()
+		s.obs.executionSeconds.Observe(elapsed.Seconds())
+		t.trace.Event("execution", elapsed, slog.Bool("failed", err != nil))
 		s.stats.executions.Add(1)
 		if err != nil {
 			s.stats.failures.Add(1)
 		} else {
 			s.cache.putCost(t.job.Key, body, cost)
+			sp := t.trace.Start("store_write")
 			s.storePut(t.job.Key, body, cost)
-			s.replicateToOwner(t.job.Key, body, cost)
+			sp.End()
+			// The replication context carries the trace so the owner's
+			// access log shows the same id the user request carried.
+			s.replicateToOwner(obs.Into(context.Background(), t.trace), t.job.Key, body, cost)
 		}
 		s.flight.complete(t.job.Key, t.call, body, err)
 	}
@@ -168,7 +196,7 @@ func (s *Server) worker() {
 // replica when this replica is not the owner. Best-effort: a failed
 // replication is counted and dropped — it costs the fleet a future
 // duplicate recompute, never correctness.
-func (s *Server) replicateToOwner(key string, body []byte, cost int64) {
+func (s *Server) replicateToOwner(ctx context.Context, key string, body []byte, cost int64) {
 	if s.ring == nil {
 		return
 	}
@@ -176,7 +204,10 @@ func (s *Server) replicateToOwner(key string, body []byte, cost int64) {
 	if owner == s.ring.Self() {
 		return
 	}
-	if err := s.peers.Replicate(context.Background(), owner, key, body, cost); err != nil {
+	sp := obs.From(ctx).Start("peer_replicate")
+	sp.SetAttr(slog.String("owner", owner))
+	defer sp.End()
+	if err := s.peers.Replicate(ctx, owner, key, body, cost); err != nil {
 		s.stats.peerReplErrors.Add(1)
 		return
 	}
@@ -265,7 +296,10 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 			s.writeError(w, status, fmt.Errorf("server: reading body: %w", err))
 			return
 		}
+		tr := obs.From(r.Context())
+		sp := tr.Start("planner_resolve")
 		job, err := s.planner.Plan(endpoint, body)
+		sp.End()
 		if err != nil {
 			s.stats.badInput.Add(1)
 			s.writeError(w, http.StatusBadRequest, err)
@@ -273,15 +307,23 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 		}
 		s.recordReplayMeta(job.Key, endpoint, body)
 
-		if cached, ok := s.cache.get(job.Key); ok {
+		sp = tr.Start("cache_memory")
+		cached, hit := s.cache.get(job.Key)
+		sp.SetAttr(slog.Bool("hit", hit))
+		sp.End()
+		if hit {
 			s.stats.cacheHits.Add(1)
 			s.writeBody(w, "cached", cached)
 			return
 		}
 		// Persistent tier: a warm-started daemon serves disk entries
 		// (verified, then promoted into the LRU) instead of recomputing.
-		if body, ok := s.storeGet(job.Key); ok {
-			s.writeBody(w, "disk", body)
+		sp = tr.Start("cache_disk")
+		body2, hit := s.storeGet(job.Key)
+		sp.SetAttr(slog.Bool("hit", hit))
+		sp.End()
+		if hit {
+			s.writeBody(w, "disk", body2)
 			return
 		}
 
@@ -307,15 +349,19 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 			// (down, slow, corrupt, clean miss) hedges to local recompute,
 			// so the fleet layer can never turn a servable request into an
 			// error.
-			if body, cost, ok := s.peerFetch(r.Context(), job.Key); ok {
-				s.cache.putCost(job.Key, body, cost)
-				s.flight.complete(job.Key, c, body, nil)
-				s.writeBody(w, "peer", body)
+			sp = tr.Start("cache_peer")
+			peerBody, cost, ok := s.peerFetch(r.Context(), job.Key)
+			sp.SetAttr(slog.Bool("hit", ok))
+			sp.End()
+			if ok {
+				s.cache.putCost(job.Key, peerBody, cost)
+				s.flight.complete(job.Key, c, peerBody, nil)
+				s.writeBody(w, "peer", peerBody)
 				return
 			}
 			served = "cold"
 			select {
-			case s.jobs <- &task{job: job, call: c}:
+			case s.jobs <- &task{job: job, call: c, trace: tr, enqueued: time.Now()}:
 			default:
 				// Admission control: the queue is full. The call must
 				// still complete, or followers that joined between our
@@ -333,8 +379,16 @@ func (s *Server) keyedHandler(endpoint string) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 
+		waitStart := time.Now()
 		select {
 		case <-c.done:
+			if !leader {
+				// Only followers time this: a leader's wait is already
+				// decomposed into queue wait + execution by the worker.
+				d := time.Since(waitStart)
+				s.obs.coalesceWaitSeconds.Observe(d.Seconds())
+				tr.Event("coalesce_wait", d)
+			}
 			switch {
 			case errors.Is(c.err, errSaturated):
 				s.stats.rejected.Add(1)
@@ -509,6 +563,7 @@ func DecodeReplayMeta(meta []byte) (endpoint string, body []byte, ok bool) {
 
 // writeBody sends canonical response bytes with the served-from class.
 func (s *Server) writeBody(w http.ResponseWriter, served string, body []byte) {
+	s.obs.countResponse(served)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(resultHeader, served)
 	w.WriteHeader(http.StatusOK)
@@ -561,7 +616,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 // ListenAndServe serves on cfg.Addr until Shutdown; it returns
 // http.ErrServerClosed after a graceful drain.
 func (s *Server) ListenAndServe() error {
-	srv := &http.Server{Addr: s.cfg.Addr, Handler: s.mux}
+	srv := &http.Server{Addr: s.cfg.Addr, Handler: s.handler}
 	s.httpMu.Lock()
 	s.httpSrv = srv
 	s.httpMu.Unlock()
@@ -572,7 +627,7 @@ func (s *Server) ListenAndServe() error {
 // restart-warm bench harness, which needs an ephemeral port); it
 // returns http.ErrServerClosed after a graceful drain.
 func (s *Server) Serve(l net.Listener) error {
-	srv := &http.Server{Handler: s.mux}
+	srv := &http.Server{Handler: s.handler}
 	s.httpMu.Lock()
 	s.httpSrv = srv
 	s.httpMu.Unlock()

@@ -1,35 +1,62 @@
 package server
 
 import (
-	"sync/atomic"
 	"time"
 
 	"locsched/internal/experiment"
+	"locsched/internal/obs"
 	"locsched/internal/store"
 )
 
-// counters holds the daemon's atomic operational counters. Gauges
-// (queue depth, in-flight) are sampled from their owners at snapshot
-// time instead of being tracked here.
+// counters holds the daemon's operational counters. Each field is a
+// registry-registered obs.Counter, so /statsz and /metricsz read the
+// very same atomics — one source of truth, no read-vs-update skew
+// between the two surfaces. Gauges (queue depth, in-flight) are sampled
+// from their owners at snapshot time instead of being tracked here.
 type counters struct {
-	requests         atomic.Int64 // every request on a keyed endpoint
-	cacheHits        atomic.Int64 // served verbatim from the result cache
-	diskHits         atomic.Int64 // served verified from the persistent store
-	diskWrites       atomic.Int64 // responses written through to the store
-	coalesced        atomic.Int64 // attached to an identical in-flight execution
-	executions       atomic.Int64 // jobs actually run by the worker pool
-	rejected         atomic.Int64 // 429s from admission control
-	timeouts         atomic.Int64 // 504s from per-request deadlines
-	coalesceTimeouts atomic.Int64 // 504s on coalesced followers specifically
-	failures         atomic.Int64 // executions that returned an error
-	badInput         atomic.Int64 // 400s from unparsable/unresolvable requests
-	peerHits         atomic.Int64 // served verified bytes fetched from the owner replica
-	peerMisses       atomic.Int64 // clean peer misses (owner answered 404; recomputed locally)
-	peerErrors       atomic.Int64 // failed peer fetches (down/slow/corrupt; recomputed locally)
-	peerServes       atomic.Int64 // peer GETs this replica answered with bytes
-	peerReplIn       atomic.Int64 // entries replicated into this replica by peers
-	peerReplOut      atomic.Int64 // entries this replica replicated to their owners
-	peerReplErrors   atomic.Int64 // failed outbound replications (best-effort, dropped)
+	requests         *obs.Counter // every request on a keyed endpoint
+	cacheHits        *obs.Counter // served verbatim from the result cache
+	diskHits         *obs.Counter // served verified from the persistent store
+	diskWrites       *obs.Counter // responses written through to the store
+	coalesced        *obs.Counter // attached to an identical in-flight execution
+	executions       *obs.Counter // jobs actually run by the worker pool
+	rejected         *obs.Counter // 429s from admission control
+	timeouts         *obs.Counter // 504s from per-request deadlines
+	coalesceTimeouts *obs.Counter // 504s on coalesced followers specifically
+	failures         *obs.Counter // executions that returned an error
+	badInput         *obs.Counter // 400s from unparsable/unresolvable requests
+	peerHits         *obs.Counter // served verified bytes fetched from the owner replica
+	peerMisses       *obs.Counter // clean peer misses (owner answered 404; recomputed locally)
+	peerErrors       *obs.Counter // failed peer fetches (down/slow/corrupt; recomputed locally)
+	peerServes       *obs.Counter // peer GETs this replica answered with bytes
+	peerReplIn       *obs.Counter // entries replicated into this replica by peers
+	peerReplOut      *obs.Counter // entries this replica replicated to their owners
+	peerReplErrors   *obs.Counter // failed outbound replications (best-effort, dropped)
+}
+
+// newCounters registers the daemon counters on r under their
+// locsched_<layer>_<name>_total exposition names.
+func newCounters(r *obs.Registry) counters {
+	return counters{
+		requests:         r.Counter("locsched_server_requests_total", "Keyed-endpoint requests (run/figure/analysis)."),
+		cacheHits:        r.Counter("locsched_cache_memory_hits_total", "Responses served verbatim from the in-memory result cache."),
+		diskHits:         r.Counter("locsched_cache_disk_hits_total", "Responses served verified from the persistent store."),
+		diskWrites:       r.Counter("locsched_store_write_through_total", "Responses successfully written through to the persistent store."),
+		coalesced:        r.Counter("locsched_server_coalesced_total", "Requests attached to an identical in-flight execution."),
+		executions:       r.Counter("locsched_server_executions_total", "Jobs actually run by the worker pool."),
+		rejected:         r.Counter("locsched_server_rejected_total", "429 admission-control rejections."),
+		timeouts:         r.Counter("locsched_server_timeouts_total", "504 per-request deadline expiries."),
+		coalesceTimeouts: r.Counter("locsched_server_coalesce_timeouts_total", "504s suffered by coalesced followers specifically."),
+		failures:         r.Counter("locsched_server_failures_total", "Executions that returned an error."),
+		badInput:         r.Counter("locsched_server_bad_requests_total", "400s from unparsable or unresolvable requests."),
+		peerHits:         r.Counter("locsched_fleet_peer_hits_total", "Responses served from verified peer-fetched bytes."),
+		peerMisses:       r.Counter("locsched_fleet_peer_misses_total", "Clean peer misses (owner answered 404; recomputed locally)."),
+		peerErrors:       r.Counter("locsched_fleet_peer_errors_total", "Failed peer fetches (down/slow/corrupt; recomputed locally)."),
+		peerServes:       r.Counter("locsched_fleet_peer_serves_total", "Peer GETs this replica answered with bytes."),
+		peerReplIn:       r.Counter("locsched_fleet_replicated_in_total", "Entries replicated into this replica by peers."),
+		peerReplOut:      r.Counter("locsched_fleet_replicated_out_total", "Entries this replica replicated to their owners."),
+		peerReplErrors:   r.Counter("locsched_fleet_replication_errors_total", "Failed outbound replications (best-effort, dropped)."),
+	}
 }
 
 // StoreSnapshot is the persistent tier's /statsz section.
@@ -139,19 +166,19 @@ type StatsSnapshot struct {
 func (s *Server) snapshot() StatsSnapshot {
 	snap := StatsSnapshot{
 		UptimeSeconds:    time.Since(s.started).Seconds(),
-		Requests:         s.stats.requests.Load(),
-		CacheHits:        s.stats.cacheHits.Load(),
-		CoalesceTimeouts: s.stats.coalesceTimeouts.Load(),
-		DiskHits:         s.stats.diskHits.Load(),
-		DiskWrites:       s.stats.diskWrites.Load(),
-		PeerHits:         s.stats.peerHits.Load(),
-		PeerErrors:       s.stats.peerErrors.Load(),
-		Coalesced:        s.stats.coalesced.Load(),
-		Executions:       s.stats.executions.Load(),
-		Rejected:         s.stats.rejected.Load(),
-		Timeouts:         s.stats.timeouts.Load(),
-		Failures:         s.stats.failures.Load(),
-		BadRequests:      s.stats.badInput.Load(),
+		Requests:         s.stats.requests.Value(),
+		CacheHits:        s.stats.cacheHits.Value(),
+		CoalesceTimeouts: s.stats.coalesceTimeouts.Value(),
+		DiskHits:         s.stats.diskHits.Value(),
+		DiskWrites:       s.stats.diskWrites.Value(),
+		PeerHits:         s.stats.peerHits.Value(),
+		PeerErrors:       s.stats.peerErrors.Value(),
+		Coalesced:        s.stats.coalesced.Value(),
+		Executions:       s.stats.executions.Value(),
+		Rejected:         s.stats.rejected.Value(),
+		Timeouts:         s.stats.timeouts.Value(),
+		Failures:         s.stats.failures.Value(),
+		BadRequests:      s.stats.badInput.Value(),
 		QueueDepth:       len(s.jobs),
 		QueueCap:         cap(s.jobs),
 		InflightKeys:     s.flight.pending(),
@@ -172,11 +199,11 @@ func (s *Server) snapshot() StatsSnapshot {
 			Enabled:           true,
 			Self:              s.ring.Self(),
 			Members:           s.ring.Members(),
-			PeerMisses:        s.stats.peerMisses.Load(),
-			PeerServes:        s.stats.peerServes.Load(),
-			ReplicatedIn:      s.stats.peerReplIn.Load(),
-			ReplicatedOut:     s.stats.peerReplOut.Load(),
-			ReplicationErrors: s.stats.peerReplErrors.Load(),
+			PeerMisses:        s.stats.peerMisses.Value(),
+			PeerServes:        s.stats.peerServes.Value(),
+			ReplicatedIn:      s.stats.peerReplIn.Value(),
+			ReplicatedOut:     s.stats.peerReplOut.Value(),
+			ReplicationErrors: s.stats.peerReplErrors.Value(),
 		}
 	}
 	return snap

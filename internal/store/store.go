@@ -41,6 +41,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"locsched/internal/obs"
 )
 
 // Record format constants.
@@ -108,6 +110,11 @@ type Options struct {
 	// NoSync skips the fsync after each append (faster, but a crash can
 	// lose recently acknowledged writes; recovery stays exact either way).
 	NoSync bool
+	// Metrics, when non-nil, registers the store's observability series
+	// (op latency histograms, breaker state gauge, quarantine and
+	// lost-bytes counters) on the given registry under the
+	// locsched_store_* names.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset options.
@@ -237,6 +244,11 @@ type Store struct {
 	recovered int
 	lostBytes int64
 	c         counts
+
+	// getHist/putHist time Get/Put operations when Options.Metrics was
+	// set; nil otherwise (observeOp is nil-safe).
+	getHist *obs.Histogram
+	putHist *obs.Histogram
 }
 
 // Open opens (or creates) the store rooted at dir, rebuilding the index
@@ -312,7 +324,70 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.loadManifestCosts()
 	s.recovered = len(s.index)
+	s.registerMetrics(o.Metrics)
 	return s, nil
+}
+
+// registerMetrics publishes the store's observability series on r (nil
+// disables instrumentation entirely — the standalone/test path). The
+// func-backed series read the same atomics /statsz snapshots, so the two
+// surfaces can never disagree.
+func (s *Store) registerMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.getHist = r.Histogram("locsched_store_get_seconds",
+		"Persistent-store read latency (verified hit or miss).", nil)
+	s.putHist = r.Histogram("locsched_store_put_seconds",
+		"Persistent-store append latency (durable write, all retries).", nil)
+	r.GaugeFunc("locsched_store_breaker_state",
+		"Circuit breaker state: 0 closed, 1 half-open, 2 open.", func() float64 {
+			state, _ := s.brk.snapshot()
+			switch state {
+			case BreakerHalfOpen:
+				return 1
+			case BreakerOpen:
+				return 2
+			}
+			return 0
+		})
+	r.CounterFunc("locsched_store_breaker_trips_total",
+		"Circuit breaker transitions into the open state.", func() float64 {
+			_, trips := s.brk.snapshot()
+			return float64(trips)
+		})
+	r.CounterFunc("locsched_store_quarantined_total",
+		"Entries dropped because their bytes were corrupt or unreadable.",
+		func() float64 { return float64(s.c.quarantined.Load()) })
+	r.CounterFunc("locsched_store_lost_bytes_total",
+		"Segment tail bytes discarded during crash recovery at Open.",
+		func() float64 { return float64(s.lostBytes) })
+	r.CounterFunc("locsched_store_hits_total",
+		"Reads served with verified bytes.",
+		func() float64 { return float64(s.c.hits.Load()) })
+	r.CounterFunc("locsched_store_misses_total",
+		"Reads with no servable entry.",
+		func() float64 { return float64(s.c.misses.Load()) })
+	r.CounterFunc("locsched_store_writes_total",
+		"Successfully appended records.",
+		func() float64 { return float64(s.c.writes.Load()) })
+	r.GaugeFunc("locsched_store_entries",
+		"Currently indexed entry count.",
+		func() float64 { return float64(s.Len()) })
+	r.GaugeFunc("locsched_store_disk_bytes",
+		"Total indexed segment bytes on disk.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.total)
+		})
+}
+
+// observeOp records one operation latency on h; nil h (metrics disabled)
+// is a no-op.
+func observeOp(h *obs.Histogram, start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
 }
 
 // loadManifestCosts seeds recovered entries with the reconstruction
@@ -467,6 +542,7 @@ func (s *Store) GetWithCost(key string) ([]byte, int64, bool) {
 	if s.closed.Load() {
 		return nil, 0, false
 	}
+	defer observeOp(s.getHist, time.Now())
 	s.mu.Lock()
 	ref, ok := s.index[key]
 	s.mu.Unlock()
@@ -572,6 +648,7 @@ func (s *Store) PutCost(key string, body []byte, costNanos int64) error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	defer observeOp(s.putHist, time.Now())
 	if len(key) == 0 || len(key) > maxKeyLen || len(body) > maxBodyLen {
 		return errTooLarge
 	}
